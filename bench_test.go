@@ -1,0 +1,153 @@
+package silkroad
+
+// Benchmark targets, one per table and figure of the paper's evaluation
+// (see DESIGN.md's per-experiment index and EXPERIMENTS.md for measured
+// output). Each benchmark regenerates its table/figure through the same
+// code path as cmd/silkroad-bench, at a reduced scale so `go test -bench`
+// completes in minutes. Plus microbenchmarks of the hot paths whose
+// line-rate feasibility the paper asserts.
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/netproto"
+)
+
+// benchScale keeps simulation-backed figures short under -bench.
+const benchScale = 0.1
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Run(benchScale, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkTable1SRAMTrend(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkTable2Resources(b *testing.B)       { runExperiment(b, "table2") }
+func BenchmarkFig2UpdateFrequency(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig3RootCauses(b *testing.B)        { runExperiment(b, "fig3") }
+func BenchmarkFig4Downtime(b *testing.B)          { runExperiment(b, "fig4") }
+func BenchmarkFig5Dilemma(b *testing.B)           { runExperiment(b, "fig5") }
+func BenchmarkFig6ActiveConns(b *testing.B)       { runExperiment(b, "fig6") }
+func BenchmarkFig8NewConns(b *testing.B)          { runExperiment(b, "fig8") }
+func BenchmarkFig12SRAMUsage(b *testing.B)        { runExperiment(b, "fig12") }
+func BenchmarkFig13SLBReplacement(b *testing.B)   { runExperiment(b, "fig13") }
+func BenchmarkFig14MemorySaving(b *testing.B)     { runExperiment(b, "fig14") }
+func BenchmarkFig15VersionReuse(b *testing.B)     { runExperiment(b, "fig15") }
+func BenchmarkFig16PCCUpdateFreq(b *testing.B)    { runExperiment(b, "fig16") }
+func BenchmarkFig17PCCArrivalRate(b *testing.B)   { runExperiment(b, "fig17") }
+func BenchmarkFig18TransitTableSize(b *testing.B) { runExperiment(b, "fig18") }
+func BenchmarkSec52Prototype(b *testing.B)        { runExperiment(b, "sec52") }
+
+// --- hot-path microbenchmarks -------------------------------------------
+
+// BenchmarkPipelineHit measures the per-packet cost of the full public
+// path for an established connection (ConnTable hit).
+func BenchmarkPipelineHit(b *testing.B) {
+	sw, err := NewSwitch(Defaults(1_000_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vip := NewVIP("20.0.0.1", 80, TCP)
+	if err := sw.AddVIP(0, vip, Pool("10.0.0.1:20", "10.0.0.2:20", "10.0.0.3:20", "10.0.0.4:20")); err != nil {
+		b.Fatal(err)
+	}
+	pkt := &Packet{
+		Tuple: FiveTuple{
+			Src: AddrPort("1.2.3.4:1234").Addr(), Dst: vip.Addr,
+			SrcPort: 1234, DstPort: 80, Proto: TCP,
+		},
+		TCPFlags: netproto.FlagSYN,
+	}
+	sw.Process(0, pkt)
+	sw.Advance(Time(5 * Millisecond))
+	pkt.TCPFlags = netproto.FlagACK
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Process(Time(i)+Time(10*Millisecond), pkt)
+	}
+}
+
+// BenchmarkPipelineNewConnections measures the miss path including
+// learning, CPU insertion and connection teardown at steady state.
+func BenchmarkPipelineNewConnections(b *testing.B) {
+	sw, err := NewSwitch(Defaults(1_000_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vip := NewVIP("20.0.0.1", 80, TCP)
+	sw.AddVIP(0, vip, Pool("10.0.0.1:20", "10.0.0.2:20"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := Time(0)
+	for i := 0; i < b.N; i++ {
+		pkt := &Packet{
+			Tuple: FiveTuple{
+				Src: AddrPort("1.2.3.4:1234").Addr(), Dst: vip.Addr,
+				SrcPort: uint16(i), DstPort: 80, Proto: TCP,
+			},
+			TCPFlags: netproto.FlagSYN,
+		}
+		pkt.Tuple.Src = clientAddr(i)
+		sw.Process(now, pkt)
+		now = now.Add(5 * Microsecond)
+		if i%4096 == 0 {
+			// Keep the table from filling: end the oldest connections.
+			sw.Advance(now)
+		}
+		if i%8192 == 8191 {
+			for j := i - 8191; j <= i; j++ {
+				t := FiveTuple{Src: clientAddr(j), Dst: vip.Addr, SrcPort: uint16(j), DstPort: 80, Proto: TCP}
+				sw.EndConnection(now, t)
+			}
+		}
+	}
+}
+
+// BenchmarkForwardRaw measures the complete raw-packet path: decode,
+// balance, rewrite, checksums.
+func BenchmarkForwardRaw(b *testing.B) {
+	sw, err := NewSwitch(Defaults(100000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vip := NewVIP("20.0.0.1", 80, TCP)
+	sw.AddVIP(0, vip, Pool("10.0.0.1:20", "10.0.0.2:20"))
+	p := &Packet{
+		Tuple:    FiveTuple{Src: clientAddr(1), Dst: vip.Addr, SrcPort: 99, DstPort: 80, Proto: TCP},
+		TCPFlags: netproto.FlagACK,
+		Payload:  make([]byte, 64),
+	}
+	raw, err := p.Marshal(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, len(raw))
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, raw)
+		if _, err := sw.Forward(Time(i), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func clientAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{1, byte(i >> 16), byte(i >> 8), byte(i)})
+}

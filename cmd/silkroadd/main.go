@@ -1,0 +1,147 @@
+// Command silkroadd runs a SilkRoad switch against real sockets: it
+// listens on a UDP port, treats each datagram's payload as a raw IPv4/IPv6
+// packet (the encapsulation a ToR would see), runs it through the SilkRoad
+// pipeline, rewrites the destination to the selected DIP, and forwards the
+// rewritten packet as a UDP datagram to that DIP.
+//
+// This is the "zero-to-forwarding" demo of the data path; production
+// deployment of the real system is a P4 program on an ASIC. Virtual time
+// is driven from the wall clock at startup.
+//
+//	silkroadd -listen :9000 -vip 20.0.0.1:80 -dips 127.0.0.1:9001,127.0.0.1:9002
+//
+// Test it with cmd/tracegen's -emit mode or any tool that sends raw
+// IPv4/TCP bytes over UDP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	silkroad "repro"
+	"repro/internal/netproto"
+)
+
+func main() {
+	listen := flag.String("listen", ":9000", "UDP address to receive encapsulated packets on")
+	vipFlag := flag.String("vip", "20.0.0.1:80", "VIP address:port to announce (TCP)")
+	dipsFlag := flag.String("dips", "127.0.0.1:9001,127.0.0.1:9002", "comma-separated DIP address:port list")
+	conns := flag.Int("conns", 1_000_000, "ConnTable provisioning")
+	mode := flag.String("mode", "rewrite", "forwarding mode: rewrite (DNAT) or ipip (encapsulate, DSR)")
+	selfAddr := flag.String("self", "192.0.2.1", "outer source address for -mode ipip")
+	stats := flag.Duration("stats", 10*time.Second, "stats print interval")
+	flag.Parse()
+
+	vipAP, err := netip.ParseAddrPort(*vipFlag)
+	if err != nil {
+		log.Fatalf("silkroadd: bad -vip: %v", err)
+	}
+	var pool []silkroad.DIP
+	for _, d := range strings.Split(*dipsFlag, ",") {
+		ap, err := netip.ParseAddrPort(strings.TrimSpace(d))
+		if err != nil {
+			log.Fatalf("silkroadd: bad DIP %q: %v", d, err)
+		}
+		pool = append(pool, ap)
+	}
+
+	sw, err := silkroad.NewSwitch(silkroad.Defaults(*conns))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vip := silkroad.VIP{Addr: vipAP.Addr(), Port: vipAP.Port(), Proto: silkroad.TCP}
+	if err := sw.AddVIP(0, vip, pool); err != nil {
+		log.Fatal(err)
+	}
+	self, err := netip.ParseAddr(*selfAddr)
+	if err != nil {
+		log.Fatalf("silkroadd: bad -self: %v", err)
+	}
+	if *mode != "rewrite" && *mode != "ipip" {
+		log.Fatalf("silkroadd: bad -mode %q", *mode)
+	}
+	log.Printf("silkroadd: announcing %v -> %v (%s mode)", vip, pool, *mode)
+
+	pc, err := net.ListenUDP("udp", mustUDPAddr(*listen))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pc.Close()
+	log.Printf("silkroadd: listening on %v", pc.LocalAddr())
+
+	out, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+
+	start := time.Now()
+	now := func() silkroad.Time { return silkroad.Time(time.Since(start).Nanoseconds()) }
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		st := sw.Stats()
+		fmt.Printf("\nfinal stats: packets=%d hits=%d misses=%d inserted=%d conns=%d\n",
+			st.Dataplane.Packets, st.Dataplane.ConnHits, st.Dataplane.ConnMisses,
+			st.Controlplane.Inserted, st.Connections)
+		os.Exit(0)
+	}()
+
+	go func() {
+		for range time.Tick(*stats) {
+			st := sw.Stats()
+			log.Printf("stats: packets=%d hits=%d misses=%d conns=%d sram=%dB",
+				st.Dataplane.Packets, st.Dataplane.ConnHits, st.Dataplane.ConnMisses,
+				st.Connections, st.MemoryBytes)
+		}
+	}()
+
+	buf := make([]byte, 65536)
+	var decoded netproto.Packet
+	for {
+		n, _, err := pc.ReadFromUDP(buf)
+		if err != nil {
+			log.Fatalf("silkroadd: read: %v", err)
+		}
+		pkt := buf[:n]
+		if err := netproto.Decode(pkt, &decoded); err != nil {
+			log.Printf("silkroadd: undecodable packet (%d B): %v", n, err)
+			continue
+		}
+		var (
+			dip     silkroad.DIP
+			payload []byte
+		)
+		if *mode == "ipip" {
+			payload, dip, err = sw.ForwardIPIP(now(), pkt, self)
+		} else {
+			dip, err = sw.Forward(now(), pkt)
+			payload = pkt
+		}
+		if err != nil {
+			log.Printf("silkroadd: %v", err)
+			continue
+		}
+		dst := net.UDPAddrFromAddrPort(dip)
+		if _, err := out.WriteToUDP(payload, dst); err != nil {
+			log.Printf("silkroadd: forward to %v: %v", dip, err)
+		}
+	}
+}
+
+func mustUDPAddr(s string) *net.UDPAddr {
+	a, err := net.ResolveUDPAddr("udp", s)
+	if err != nil {
+		log.Fatalf("silkroadd: bad -listen: %v", err)
+	}
+	return a
+}

@@ -1,0 +1,79 @@
+// Command tracegen synthesizes cluster traces (the workload package's
+// fleet) as JSON for external analysis, and can emit a live stream of raw
+// IPv4/TCP packets over UDP to exercise cmd/silkroadd.
+//
+//	tracegen -seed 7 > fleet.json
+//	tracegen -emit 127.0.0.1:9000 -vip 20.0.0.1:80 -rate 1000 -duration 10s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"math/rand"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"repro/internal/netproto"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "fleet synthesis seed")
+	emit := flag.String("emit", "", "if set, stream packets to this UDP address instead of printing JSON")
+	vipFlag := flag.String("vip", "20.0.0.1:80", "VIP to address packets to (with -emit)")
+	rate := flag.Float64("rate", 1000, "new connections per second (with -emit)")
+	duration := flag.Duration("duration", 10*time.Second, "emission duration (with -emit)")
+	flag.Parse()
+
+	if *emit == "" {
+		fleet := workload.Fleet(*seed)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fleet); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	vip, err := netip.ParseAddrPort(*vipFlag)
+	if err != nil {
+		log.Fatalf("tracegen: bad -vip: %v", err)
+	}
+	conn, err := net.Dial("udp", *emit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewSource(*seed))
+	interval := time.Duration(float64(time.Second) / *rate)
+	deadline := time.Now().Add(*duration)
+	var buf []byte
+	sent := 0
+	for i := 0; time.Now().Before(deadline); i++ {
+		p := netproto.Packet{
+			Tuple: netproto.FiveTuple{
+				Src:     netip.AddrFrom4([4]byte{192, 168, byte(i >> 8), byte(i)}),
+				Dst:     vip.Addr(),
+				SrcPort: uint16(1024 + rng.Intn(60000)),
+				DstPort: vip.Port(),
+				Proto:   netproto.ProtoTCP,
+			},
+			TCPFlags: netproto.FlagSYN,
+			Payload:  []byte("tracegen"),
+		}
+		buf, err = p.Marshal(buf[:0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			log.Fatal(err)
+		}
+		sent++
+		time.Sleep(interval)
+	}
+	log.Printf("tracegen: sent %d packets to %s", sent, *emit)
+}

@@ -1,0 +1,91 @@
+// Hybrid SilkRoad + SLB (§7): when the hardware ConnTable fills, it acts
+// as a cache — overflow connections are pinned at a software tier with the
+// DIP their packets were already hashed to, so per-connection consistency
+// holds for every connection while the vast majority of traffic stays in
+// hardware.
+//
+// Run with: go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"repro/internal/ctrlplane"
+	"repro/internal/dataplane"
+	"repro/internal/hybrid"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+	"repro/internal/slb"
+)
+
+func main() {
+	// A deliberately tiny hardware table: 1K entries for 5K connections.
+	dcfg := dataplane.DefaultConfig(1000)
+	b, err := hybrid.New(dcfg, ctrlplane.DefaultConfig(), slb.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	vip := dataplane.VIP{Addr: netip.MustParseAddr("20.0.0.1"), Port: 80, Proto: netproto.ProtoTCP}
+	pool := make([]dataplane.DIP, 8)
+	for i := range pool {
+		pool[i] = netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}), 20)
+	}
+	if err := b.AddVIP(0, vip, pool); err != nil {
+		log.Fatal(err)
+	}
+
+	tuple := func(i int) netproto.FiveTuple {
+		return netproto.FiveTuple{
+			Src:     netip.AddrFrom4([4]byte{1, byte(i >> 16), byte(i >> 8), byte(i)}),
+			Dst:     vip.Addr,
+			SrcPort: uint16(1024 + i%60000), DstPort: 80, Proto: netproto.ProtoTCP,
+		}
+	}
+
+	const conns = 5000
+	now := simtime.Time(0)
+	first := make([]dataplane.DIP, conns)
+	for i := 0; i < conns; i++ {
+		dip, ok := b.Packet(now, &netproto.Packet{Tuple: tuple(i), TCPFlags: netproto.FlagSYN})
+		if !ok {
+			log.Fatalf("conn %d dropped", i)
+		}
+		first[i] = dip
+		now = now.Add(simtime.Duration(20 * simtime.Microsecond))
+	}
+	b.Advance(now.Add(simtime.Duration(simtime.Second)))
+	st := b.Stats()
+	fmt.Printf("%d connections: %d cached in hardware, %d pinned at the SLB tier\n",
+		conns, conns-int(st.OverflowConns), st.OverflowConns)
+
+	// A pool update that would remap every unpinned connection.
+	if err := b.Update(now, vip, pool[:7]); err != nil {
+		log.Fatal(err)
+	}
+	now = now.Add(simtime.Duration(200 * simtime.Millisecond))
+	b.Advance(now)
+
+	moved, excusable := 0, 0
+	for i := 0; i < conns; i++ {
+		dip, ok := b.Packet(now, &netproto.Packet{Tuple: tuple(i), TCPFlags: netproto.FlagACK})
+		if !ok {
+			continue
+		}
+		if dip != first[i] {
+			moved++
+		}
+		if first[i] == pool[7] {
+			excusable++ // its backend was removed
+		}
+	}
+	st = b.Stats()
+	fmt.Printf("after removing %v: %d connections moved (%d had their backend removed)\n",
+		pool[7], moved, excusable)
+	fmt.Printf("software served %.1f%% of packets; hardware the rest\n", 100*b.SoftwareShare())
+	if moved > excusable {
+		log.Fatal("PCC violated for connections whose backend survived!")
+	}
+	fmt.Println("every connection with a surviving backend stayed put — PCC holds across the cache boundary.")
+}

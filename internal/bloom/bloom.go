@@ -1,0 +1,98 @@
+// Package bloom implements the binary bloom filter SilkRoad uses as its
+// TransitTable (§4.3): a membership set over pending connections, built on
+// the ASIC's transactional register memory so that an insert by one packet
+// is visible to the next packet with no CPU involvement.
+//
+// The filter is deliberately tiny — the paper shows 256 bytes suffice even
+// under the most frequent DIP pool updates observed in production — because
+// the 3-step update process bounds its population to the connections that
+// arrive during one learning-insertion window.
+package bloom
+
+import (
+	"repro/internal/hashing"
+	"repro/internal/regarray"
+)
+
+// Filter is a binary bloom filter over 64-bit keys.
+type Filter struct {
+	bits    *regarray.Array
+	nbits   uint64
+	hashes  *hashing.Family
+	k       int
+	inserts int
+}
+
+// New creates a filter of the given size in bytes with k hash functions.
+// Sizes as small as 8 bytes are meaningful (Figure 18 sweeps 8 B..1 KiB).
+func New(sizeBytes, k int, seed uint64) *Filter {
+	if sizeBytes <= 0 {
+		panic("bloom: size must be positive")
+	}
+	if k <= 0 {
+		panic("bloom: need at least one hash function")
+	}
+	return &Filter{
+		bits:   regarray.New(sizeBytes*8, 1),
+		nbits:  uint64(sizeBytes * 8),
+		hashes: hashing.NewFamily(k, seed),
+		k:      k,
+	}
+}
+
+// Insert adds key to the set.
+func (f *Filter) Insert(key uint64) {
+	for i := 0; i < f.k; i++ {
+		f.bits.Write(int(f.hashes.HashUint64(i, key)%f.nbits), 1)
+	}
+	f.inserts++
+}
+
+// MaybeContains reports whether key may be in the set. False positives are
+// possible; false negatives are not.
+func (f *Filter) MaybeContains(key uint64) bool {
+	for i := 0; i < f.k; i++ {
+		if f.bits.Read(int(f.hashes.HashUint64(i, key)%f.nbits)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the filter (step 3 of the PCC update).
+func (f *Filter) Clear() {
+	f.bits.Clear()
+	f.inserts = 0
+}
+
+// Inserts returns the number of Insert calls since the last Clear.
+func (f *Filter) Inserts() int { return f.inserts }
+
+// SizeBytes returns the filter's SRAM footprint.
+func (f *Filter) SizeBytes() int { return int(f.nbits / 8) }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// FillRatio returns the fraction of set bits, a cheap indicator of the
+// expected false-positive rate ((fill)^k).
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for i := 0; i < int(f.nbits); i++ {
+		if f.bits.Read(i) != 0 {
+			set++
+		}
+	}
+	return float64(set) / float64(f.nbits)
+}
+
+// EstimatedFPR returns the classical false-positive estimate
+// (1-e^{-kn/m})^k for the current population.
+func (f *Filter) EstimatedFPR() float64 {
+	fill := f.FillRatio()
+	p := 1.0
+	for i := 0; i < f.k; i++ {
+		p *= fill
+	}
+	return p
+}

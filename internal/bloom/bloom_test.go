@@ -1,0 +1,167 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(256, 4, 1)
+	keys := make([]uint64, 200)
+	rng := rand.New(rand.NewSource(5))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Insert(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MaybeContains(k) {
+			t.Fatalf("false negative for %#x", k)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := New(64, 3, 2)
+	f.Insert(42)
+	if !f.MaybeContains(42) {
+		t.Fatal("inserted key missing")
+	}
+	if f.Inserts() != 1 {
+		t.Fatalf("Inserts = %d", f.Inserts())
+	}
+	f.Clear()
+	if f.MaybeContains(42) {
+		t.Fatal("key survived Clear")
+	}
+	if f.Inserts() != 0 || f.FillRatio() != 0 {
+		t.Fatal("Clear did not reset state")
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := New(256, 4, 3)
+	hits := 0
+	for i := uint64(0); i < 1000; i++ {
+		if f.MaybeContains(i) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("empty filter matched %d keys", hits)
+	}
+}
+
+// TestFalsePositiveRate256B checks the paper's operating point: a 256-byte
+// filter holding one learning window's pending connections (a few thousand
+// at 2.77M conns/min x 1ms... ~46, allow hundreds) keeps FPR tiny.
+func TestFalsePositiveRate256B(t *testing.T) {
+	f := New(256, 4, 7)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ { // pending connections in one window
+		f.Insert(rng.Uint64())
+	}
+	fp := 0
+	const probes = 200000
+	for i := 0; i < probes; i++ {
+		if f.MaybeContains(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.002 {
+		t.Fatalf("FPR = %.5f with 100 keys in 256B, want < 0.002", rate)
+	}
+}
+
+// TestTinyFilterDegrades verifies the Figure 18 effect: an 8-byte filter
+// saturates quickly and produces false positives under load.
+func TestTinyFilterDegrades(t *testing.T) {
+	f := New(8, 2, 8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		f.Insert(rng.Uint64())
+	}
+	if f.FillRatio() < 0.9 {
+		t.Fatalf("8B filter fill = %.2f after 200 inserts, expected near-saturation", f.FillRatio())
+	}
+	if f.EstimatedFPR() < 0.5 {
+		t.Fatalf("tiny filter FPR estimate = %.3f, expected high", f.EstimatedFPR())
+	}
+}
+
+func TestSizeAndK(t *testing.T) {
+	f := New(256, 4, 9)
+	if f.SizeBytes() != 256 || f.K() != 4 {
+		t.Fatalf("SizeBytes/K = %d/%d", f.SizeBytes(), f.K())
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 4, 1) },
+		func() { New(8, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad New did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: anything inserted is always contained (no false negatives),
+// regardless of interleaving with other inserts.
+func TestNoFalseNegativeProperty(t *testing.T) {
+	f := New(128, 3, 11)
+	inserted := map[uint64]bool{}
+	prop := func(k uint64) bool {
+		f.Insert(k)
+		inserted[k] = true
+		for ik := range inserted {
+			if !f.MaybeContains(ik) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillRatioMonotone(t *testing.T) {
+	f := New(64, 2, 13)
+	prev := 0.0
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 50; i++ {
+		f.Insert(rng.Uint64())
+		fr := f.FillRatio()
+		if fr < prev {
+			t.Fatal("fill ratio decreased on insert")
+		}
+		prev = fr
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := New(256, 4, 15)
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i))
+	}
+}
+
+func BenchmarkMaybeContains(b *testing.B) {
+	f := New(256, 4, 16)
+	for i := 0; i < 100; i++ {
+		f.Insert(uint64(i * 7919))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MaybeContains(uint64(i))
+	}
+}

@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+func vip() dataplane.VIP {
+	return dataplane.VIP{Addr: netip.MustParseAddr("20.0.0.1"), Port: 80, Proto: netproto.ProtoTCP}
+}
+
+func pool(n int) []dataplane.DIP {
+	out := make([]dataplane.DIP, n)
+	for i := range out {
+		out[i] = netip.MustParseAddrPort(fmt.Sprintf("10.0.0.%d:20", i+1))
+	}
+	return out
+}
+
+func tup(i int) netproto.FiveTuple {
+	return netproto.FiveTuple{
+		Src:     netip.AddrFrom4([4]byte{1, byte(i >> 16), byte(i >> 8), byte(i)}),
+		Dst:     netip.MustParseAddr("20.0.0.1"),
+		SrcPort: uint16(1024 + i%60000), DstPort: 80, Proto: netproto.ProtoTCP,
+	}
+}
+
+func ms(n int) simtime.Time { return simtime.Time(n) * simtime.Time(simtime.Millisecond) }
+
+func newCluster(t *testing.T, switches int) *Cluster {
+	t.Helper()
+	c, err := New(DefaultConfig(switches, 50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddVIP(0, vip(), pool(8)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSprayDistributesConnections(t *testing.T) {
+	c := newCluster(t, 4)
+	perSwitch := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		_, sw, ok := c.Packet(simtime.Time(i)*1000, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagSYN})
+		if !ok {
+			t.Fatal("packet dropped")
+		}
+		perSwitch[sw]++
+	}
+	for i := 0; i < 4; i++ {
+		if perSwitch[i] < 300 || perSwitch[i] > 700 {
+			t.Fatalf("switch %d got %d of 2000 (imbalanced): %v", i, perSwitch[i], perSwitch)
+		}
+	}
+	c.Advance(ms(100))
+	if got := c.TotalConns(); got != 2000 {
+		t.Fatalf("TotalConns = %d", got)
+	}
+}
+
+func TestSameMappingAcrossSwitches(t *testing.T) {
+	// Switches share hash seeds: a given connection maps to the same DIP
+	// regardless of which switch serves it — the property that makes
+	// failover work for latest-version connections.
+	c := newCluster(t, 3)
+	for i := 0; i < 200; i++ {
+		tuple := tup(i)
+		pkt := &netproto.Packet{Tuple: tuple, TCPFlags: netproto.FlagSYN}
+		var dips []dataplane.DIP
+		for s := 0; s < 3; s++ {
+			d, err := c.Member(s).Switch().SelectDIP(vip(), 0, tuple)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dips = append(dips, d)
+		}
+		if dips[0] != dips[1] || dips[1] != dips[2] {
+			t.Fatalf("conn %d maps differently across switches: %v", i, dips)
+		}
+		_ = pkt
+	}
+}
+
+// TestSwitchFailureLatestVersionSurvives reproduces §7's failure claim:
+// after a switch dies, its latest-version connections land on survivors
+// with the same DIP; only stale-version connections break.
+func TestSwitchFailureLatestVersionSurvives(t *testing.T) {
+	c := newCluster(t, 4)
+	first := map[int]dataplane.DIP{}
+	firstSwitch := map[int]int{}
+	const conns = 1200
+	now := simtime.Time(0)
+	for i := 0; i < conns; i++ {
+		d, sw, ok := c.Packet(now, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagSYN})
+		if !ok {
+			t.Fatal("drop")
+		}
+		first[i] = d
+		firstSwitch[i] = sw
+		now = now.Add(simtime.Duration(10 * simtime.Microsecond))
+	}
+	c.Advance(now.Add(simtime.Duration(simtime.Second)))
+	// All connections are on version 0, the latest everywhere. Fail one
+	// switch: every redirected connection must keep its DIP.
+	if err := c.FailSwitch(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.AliveCount() != 3 {
+		t.Fatal("AliveCount wrong")
+	}
+	moved, redirected := 0, 0
+	for i := 0; i < conns; i++ {
+		d, sw, ok := c.Packet(now, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagACK})
+		if !ok {
+			t.Fatalf("conn %d dropped after failover", i)
+		}
+		if firstSwitch[i] == 2 {
+			redirected++
+			if sw == 2 {
+				t.Fatal("packet routed to dead switch")
+			}
+		} else if sw != firstSwitch[i] {
+			t.Fatalf("conn %d moved switches (%d->%d) though its switch is healthy", i, firstSwitch[i], sw)
+		}
+		if d != first[i] {
+			moved++
+		}
+	}
+	if redirected == 0 {
+		t.Fatal("no connections were on the failed switch")
+	}
+	if moved != 0 {
+		t.Fatalf("%d latest-version connections changed DIP across switch failure, want 0", moved)
+	}
+}
+
+// TestSwitchFailureStaleVersionBreaks: connections pinned to an OLD pool
+// version at the failed switch lose that pinning (the new switch's
+// ConnTable doesn't know them) and rehash onto the latest pool — the
+// breakage §7 concedes.
+func TestSwitchFailureStaleVersionBreaks(t *testing.T) {
+	c := newCluster(t, 4)
+	const conns = 1200
+	now := simtime.Time(0)
+	first := map[int]dataplane.DIP{}
+	firstSwitch := map[int]int{}
+	for i := 0; i < conns; i++ {
+		d, sw, _ := c.Packet(now, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagSYN})
+		first[i] = d
+		firstSwitch[i] = sw
+		now = now.Add(simtime.Duration(10 * simtime.Microsecond))
+	}
+	c.Advance(now.Add(simtime.Duration(simtime.Second)))
+	// Update: drop one DIP. Established conns stay pinned to v0 at their
+	// own switch.
+	if err := c.Update(now, vip(), pool(7)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(simtime.Duration(200 * simtime.Millisecond))
+	c.Advance(now)
+	// Fail a switch: its conns (pinned to the OLD version there) land on
+	// survivors, which only know the new pool for misses.
+	c.FailSwitch(1)
+	movedRedirected, movedStayed := 0, 0
+	for i := 0; i < conns; i++ {
+		d, _, ok := c.Packet(now, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagACK})
+		if !ok {
+			continue
+		}
+		if d != first[i] {
+			if firstSwitch[i] == 1 {
+				movedRedirected++
+			} else {
+				movedStayed++
+			}
+		}
+	}
+	if movedRedirected == 0 {
+		t.Fatal("stale-version conns on the failed switch should break (~7/8 remap)")
+	}
+	if movedStayed != 0 {
+		t.Fatalf("%d conns on healthy switches moved", movedStayed)
+	}
+}
+
+func TestRestoreSwitch(t *testing.T) {
+	c := newCluster(t, 3)
+	c.FailSwitch(0)
+	if err := c.RestoreSwitch(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.AliveCount() != 3 {
+		t.Fatal("restore failed")
+	}
+	// The restored switch needs its VIPs re-announced before serving.
+	latest, _ := c.Member(1).CurrentPool(vip())
+	if err := c.ReannounceTo(ms(1), 0, map[dataplane.VIP][]dataplane.DIP{vip(): latest}); err != nil {
+		t.Fatal(err)
+	}
+	// New connections sprayed to switch 0 are served.
+	served := false
+	for i := 5000; i < 5400; i++ {
+		_, sw, ok := c.Packet(ms(2), &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagSYN})
+		if sw == 0 {
+			if !ok {
+				t.Fatal("restored switch dropped a packet")
+			}
+			served = true
+		}
+	}
+	if !served {
+		t.Fatal("no traffic reached the restored switch")
+	}
+}
+
+func TestFailureErrors(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := c.FailSwitch(9); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if err := c.RestoreSwitch(0); err == nil {
+		t.Fatal("restoring a live switch accepted")
+	}
+	c.FailSwitch(0)
+	if err := c.FailSwitch(0); err == nil {
+		t.Fatal("double failure accepted")
+	}
+	if err := c.FailSwitch(1); err == nil {
+		t.Fatal("failing the last switch accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestClusterWideUpdateKeepsPCC(t *testing.T) {
+	c := newCluster(t, 4)
+	const conns = 800
+	now := simtime.Time(0)
+	first := map[int]dataplane.DIP{}
+	for i := 0; i < conns; i++ {
+		d, _, _ := c.Packet(now, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagSYN})
+		first[i] = d
+		now = now.Add(simtime.Duration(10 * simtime.Microsecond))
+	}
+	c.Advance(now.Add(simtime.Duration(simtime.Second)))
+	if err := c.Update(now, vip(), pool(7)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(simtime.Duration(200 * simtime.Millisecond))
+	c.Advance(now)
+	for i := 0; i < conns; i++ {
+		d, _, ok := c.Packet(now, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagACK})
+		if ok && d != first[i] {
+			t.Fatalf("conn %d moved across cluster-wide update", i)
+		}
+	}
+}

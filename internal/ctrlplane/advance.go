@@ -1,0 +1,333 @@
+package ctrlplane
+
+import (
+	"repro/internal/cuckoo"
+	"repro/internal/dataplane"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+// Advance runs all control-plane work due at or before now: learning-filter
+// drains, ConnTable insertions at the CPU's bounded rate, update state
+// transitions, and (optionally) connection aging. Callers must invoke it
+// with non-decreasing times; drivers typically call it before processing
+// each packet and whenever NextEventTime falls due.
+func (cp *ControlPlane) Advance(now simtime.Time) {
+	for {
+		progressed := false
+		// Drain the hardware learning filter at its scheduled flush times.
+		if at, ok := cp.sw.LearnFilter().NextFlush(); ok && !at.After(now) {
+			cp.drainFilter(at)
+			progressed = true
+		}
+		// Execute due insertions.
+		for len(cp.queue) > 0 && !cp.queue[0].completeAt.After(now) {
+			pi := cp.queue[0]
+			cp.queue = cp.queue[1:]
+			cp.install(pi)
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Update states can cascade: finishing one update starts the next
+	// queued one, which may itself be immediately executable when no
+	// pending connections exist. Loop to a fixed point.
+	for cp.checkTransitions(now) {
+	}
+	cp.age(now)
+}
+
+// drainFilter reads one batch from the learning filter and schedules its
+// insertions on the CPU timeline starting at flush time.
+func (cp *ControlPlane) drainFilter(flushAt simtime.Time) {
+	batch := cp.sw.LearnFilter().Drain()
+	if len(batch) == 0 {
+		return
+	}
+	start := cp.cpuFreeAt
+	if flushAt.After(start) {
+		start = flushAt
+	}
+	per := cp.perInsert()
+	for i, ev := range batch {
+		cp.queue = append(cp.queue, pendingInsert{
+			ev:         ev,
+			completeAt: start.Add(per * simtime.Duration(i+1)),
+		})
+	}
+	cp.cpuFreeAt = start.Add(per * simtime.Duration(len(batch)))
+	if len(cp.queue) > cp.metrics.MaxInsertQueue {
+		cp.metrics.MaxInsertQueue = len(cp.queue)
+	}
+}
+
+// install performs one ConnTable insertion (CPU side).
+func (cp *ControlPlane) install(pi pendingInsert) {
+	ev := pi.ev
+	if sh, seen := cp.conns[ev.KeyHash]; seen && sh.installed {
+		cp.metrics.DuplicateLearns++
+		return
+	}
+	vip := dataplane.VIPOf(ev.Tuple)
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return // VIP withdrawn while the event sat in the queue
+	}
+	if _, ok := vc.pools[ev.Version]; !ok {
+		// The version retired while the event was queued (can only happen
+		// for unpinned conns after exhaustion-forced retirement): pin to
+		// the current version instead.
+		ev.Version = vc.curVer
+	}
+	err := cp.sw.InsertConn(ev.Tuple, ev.Version)
+	switch {
+	case err == nil:
+		cp.conns[ev.KeyHash] = &connShadow{
+			tuple:     ev.Tuple,
+			vip:       vip,
+			version:   ev.Version,
+			installed: true,
+			lastSeen:  pi.completeAt,
+		}
+		vc.connsPerVer[ev.Version]++
+		cp.metrics.Inserted++
+		cp.metrics.InsertDelaySum += pi.completeAt.Sub(ev.At)
+		cp.scheduleAging(ev.KeyHash, pi.completeAt)
+	case err == cuckoo.ErrDuplicate:
+		cp.metrics.DuplicateLearns++
+	case err == cuckoo.ErrTableFull:
+		// §7: ConnTable acts as a cache; overflow connections stay
+		// unpinned (each packet re-resolves through VIPTable) unless a
+		// software tier picks them up through OnOverflow.
+		cp.metrics.Overflows++
+		if cp.cfg.OnOverflow != nil {
+			if dip, derr := cp.sw.SelectDIP(vip, ev.Version, ev.Tuple); derr == nil {
+				cp.cfg.OnOverflow(pi.completeAt, ev.Tuple, dip)
+			}
+		}
+	default:
+		panic("ctrlplane: InsertConn: " + err.Error())
+	}
+}
+
+// NextEventTime returns the earliest time at which Advance would perform
+// work, and whether any work is scheduled.
+func (cp *ControlPlane) NextEventTime() (simtime.Time, bool) {
+	var best simtime.Time
+	have := false
+	consider := func(t simtime.Time) {
+		if !have || t.Before(best) {
+			best, have = t, true
+		}
+	}
+	if at, ok := cp.sw.LearnFilter().NextFlush(); ok {
+		consider(at)
+	}
+	if len(cp.queue) > 0 {
+		consider(cp.queue[0].completeAt)
+	}
+	return best, have
+}
+
+// HandleResult performs the CPU side of a packet's outcome: arbitrating
+// redirected SYNs and tracking liveness. It returns the authoritative
+// forwarding decision (for redirects, the decision after software
+// resolution and re-injection).
+func (cp *ControlPlane) HandleResult(now simtime.Time, pkt *netproto.Packet, res dataplane.Result) dataplane.Result {
+	switch res.Verdict {
+	case dataplane.VerdictRedirectSYNConn:
+		return cp.resolveConnSYN(now, pkt, res)
+	case dataplane.VerdictRedirectSYNTransit:
+		return cp.resolveTransitSYN(now, pkt, res)
+	case dataplane.VerdictForward:
+		if sh, ok := cp.conns[res.KeyHash]; ok {
+			sh.lastSeen = now
+		}
+	}
+	return res
+}
+
+// resolveConnSYN arbitrates a SYN that hit an existing ConnTable entry: a
+// digest false positive (relocate the old entry, install this connection's
+// own entry, and re-inject) or a retransmitted SYN of a known connection
+// (forward as-is).
+func (cp *ControlPlane) resolveConnSYN(now simtime.Time, pkt *netproto.Packet, res dataplane.Result) dataplane.Result {
+	fixed, err := cp.sw.ResolveSYNCollision(pkt.Tuple, res)
+	if err != nil {
+		// Could not separate the keys (table pathologically full): fall
+		// back to forwarding by the matched entry.
+		res.Verdict = dataplane.VerdictForward
+		return res
+	}
+	if !fixed {
+		cp.metrics.RetransmittedSYNs++
+		if sh, ok := cp.conns[res.KeyHash]; ok {
+			sh.lastSeen = now
+		}
+		res.Verdict = dataplane.VerdictForward
+		return res
+	}
+	// Digest false positive: the aliasing entry has been relocated. The
+	// software installs this connection's own entry immediately (it has
+	// all the state; no need to wait for a learn cycle), then the SYN is
+	// re-injected and hits the right entry.
+	cp.metrics.DigestFPsResolved++
+	cp.chargeCPU(now)
+	vip := dataplane.VIPOf(pkt.Tuple)
+	vc, ok := cp.vips[vip]
+	if !ok {
+		res.Verdict = dataplane.VerdictForward
+		return res
+	}
+	// If the connection was already pending (learned, awaiting insertion),
+	// keep the version its first packet used; otherwise it is new and
+	// takes the current version.
+	ver := vc.curVer
+	if pv, pending := cp.pendingVersion(res.KeyHash); pending {
+		ver = pv
+	}
+	return cp.installInline(now, pkt.Tuple, res, vc, ver)
+}
+
+// pendingVersion returns the learned-but-not-yet-installed version for a
+// connection, consulting the hardware learning filter and the CPU queue.
+func (cp *ControlPlane) pendingVersion(keyHash uint64) (uint32, bool) {
+	if ev, ok := cp.sw.LearnFilter().Get(keyHash); ok {
+		return ev.Version, true
+	}
+	for i := range cp.queue {
+		if cp.queue[i].ev.KeyHash == keyHash {
+			return cp.queue[i].ev.Version, true
+		}
+	}
+	return 0, false
+}
+
+// installInline inserts tuple->ver on the CPU's fast path (redirect
+// handling) and returns the forwarding result for the re-injected packet.
+func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple, res dataplane.Result, vc *vipCtl, ver uint32) dataplane.Result {
+	dip, err := cp.sw.SelectDIP(vc.vip, ver, tuple)
+	if err != nil {
+		res.Verdict = dataplane.VerdictForward
+		return res
+	}
+	switch insErr := cp.sw.InsertConn(tuple, ver); insErr {
+	case nil:
+		cp.conns[res.KeyHash] = &connShadow{
+			tuple: tuple, vip: vc.vip, version: ver, installed: true, lastSeen: now,
+		}
+		vc.connsPerVer[ver]++
+		cp.metrics.Inserted++
+		cp.scheduleAging(res.KeyHash, now)
+	case cuckoo.ErrTableFull:
+		cp.metrics.Overflows++
+	case cuckoo.ErrDuplicate:
+		cp.metrics.DuplicateLearns++
+	}
+	res.Verdict = dataplane.VerdictForward
+	res.Version = ver
+	res.DIP = dip
+	return res
+}
+
+// resolveTransitSYN arbitrates a SYN that matched the TransitTable during
+// step 2. The software's shadow tells the truth: a known pending
+// connection's retransmitted SYN keeps the old version; an unknown
+// connection is a bloom false positive and must use the current version.
+func (cp *ControlPlane) resolveTransitSYN(now simtime.Time, pkt *netproto.Packet, res dataplane.Result) dataplane.Result {
+	vip := dataplane.VIPOf(pkt.Tuple)
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return res
+	}
+	if sh, known := cp.conns[res.KeyHash]; known {
+		// Installed connection whose SYN was retransmitted: the old
+		// version the bloom filter chose is correct.
+		cp.metrics.RetransmittedSYNs++
+		sh.lastSeen = now
+		res.Verdict = dataplane.VerdictForward
+		return res
+	}
+	if ver, pending := cp.pendingVersion(res.KeyHash); pending {
+		// Genuinely pending connection: it really is in the TransitTable;
+		// keep the version its first packet used.
+		cp.metrics.RetransmittedSYNs++
+		res.Verdict = dataplane.VerdictForward
+		res.Version = ver
+		if dip, err := cp.sw.SelectDIP(vip, ver, pkt.Tuple); err == nil {
+			res.DIP = dip
+		}
+		return res
+	}
+	// False positive: this is a new connection; pin it to the current
+	// version immediately (software-inserted, jumping the learn queue).
+	cp.metrics.BloomFPsResolved++
+	cp.chargeCPU(now)
+	res.TransitHit = false
+	return cp.installInline(now, pkt.Tuple, res, vc, vc.curVer)
+}
+
+// chargeCPU accounts one out-of-band insertion's worth of CPU time.
+func (cp *ControlPlane) chargeCPU(now simtime.Time) {
+	if now.After(cp.cpuFreeAt) {
+		cp.cpuFreeAt = now
+	}
+	cp.cpuFreeAt = cp.cpuFreeAt.Add(cp.perInsert())
+}
+
+// EndConnection tells the control plane that a connection terminated (FIN
+// observed or simulator-driven flow end): its entry is deleted and its
+// pool version's refcount drops, possibly retiring the version.
+func (cp *ControlPlane) EndConnection(now simtime.Time, tuple netproto.FiveTuple) {
+	kh := cp.sw.KeyHash(tuple)
+	sh, ok := cp.conns[kh]
+	if !ok {
+		return
+	}
+	cp.releaseShadow(kh, sh)
+	cp.metrics.ConnsEnded++
+}
+
+func (cp *ControlPlane) releaseShadow(kh uint64, sh *connShadow) {
+	if cp.wheel != nil {
+		cp.wheel.Cancel(kh)
+	}
+	if sh.installed {
+		cp.sw.DeleteConn(sh.tuple)
+		if vc, ok := cp.vips[sh.vip]; ok {
+			vc.connsPerVer[sh.version]--
+			cp.retireIfIdle(vc, sh.version)
+		}
+	}
+	delete(cp.conns, kh)
+}
+
+// scheduleAging arms a connection's idle timer.
+func (cp *ControlPlane) scheduleAging(kh uint64, lastSeen simtime.Time) {
+	if cp.wheel != nil {
+		cp.wheel.Schedule(kh, lastSeen.Add(cp.cfg.AgingTimeout))
+	}
+}
+
+// age ticks the timing wheel and expires idle connections. Timers are
+// lazy: a fired key whose connection saw traffic since is rescheduled
+// from its true lastSeen instead of being released.
+func (cp *ControlPlane) age(now simtime.Time) {
+	if cp.wheel == nil {
+		return
+	}
+	for _, kh := range cp.wheel.Advance(now) {
+		sh, ok := cp.conns[kh]
+		if !ok {
+			continue
+		}
+		if now.Sub(sh.lastSeen) >= cp.cfg.AgingTimeout {
+			cp.releaseShadow(kh, sh)
+			cp.metrics.AgedOut++
+			continue
+		}
+		cp.wheel.Schedule(kh, sh.lastSeen.Add(cp.cfg.AgingTimeout))
+	}
+}

@@ -1,0 +1,401 @@
+// Package ctrlplane implements the SilkRoad switch software: the ~1000
+// lines of C in the paper's prototype that drain the learning filter, run
+// cuckoo insertions into ConnTable at a bounded rate, execute the 3-step
+// per-connection-consistent DIP pool update (Figure 9), manage DIP pool
+// versions (allocation from a ring buffer, version reuse, retirement), and
+// arbitrate the SYN packets the ASIC redirects on suspected digest or
+// bloom false positives.
+//
+// The control plane is a deterministic state machine over virtual time:
+// callers advance it with Advance(now) and feed it packet outcomes through
+// HandleResult. No goroutines, no wall clock — every experiment replays
+// identically.
+package ctrlplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataplane"
+	"repro/internal/learnfilter"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+	"repro/internal/timewheel"
+)
+
+// Mode selects the update strategy.
+type Mode uint8
+
+// Update strategies.
+const (
+	// ModeFullPCC runs the 3-step update with the TransitTable (SilkRoad).
+	ModeFullPCC Mode = iota
+	// ModeNoTransit swaps the VIPTable version as soon as an update is
+	// requested — the "SilkRoad without TransitTable" ablation whose
+	// pending connections can violate PCC (Figure 16).
+	ModeNoTransit
+)
+
+// Config parameterizes the switch software.
+type Config struct {
+	// InsertRate is sustained ConnTable insertions per second of virtual
+	// time (paper §5.2: ~200K/s on the embedded CPU).
+	InsertRate float64
+	// RedirectLatency models the ASIC->CPU->ASIC round trip for redirected
+	// SYNs (a few milliseconds in the paper). Stats only; arbitration is
+	// resolved in-line.
+	RedirectLatency simtime.Duration
+	// AgingTimeout expires idle connections; zero disables aging (the
+	// driver then ends connections explicitly). Aging runs on a hashed
+	// timing wheel in the conntrack style: timers are lazy (not touched
+	// per packet) and liveness is re-checked when they fire.
+	AgingTimeout simtime.Duration
+	// AgingSweepEvery bounds how stale the wheel may get between packet
+	// events (it is ticked on every Advance anyway); retained for
+	// configuration compatibility.
+	AgingSweepEvery simtime.Duration
+	Mode            Mode
+	// DisableVersionReuse turns off §4.2's version reuse (the Figure 15
+	// ablation): every update allocates a fresh version number.
+	DisableVersionReuse bool
+	// OnOverflow, if set, is invoked when a connection cannot be installed
+	// because ConnTable is full (§7's "ConnTable as a cache"): the callback
+	// receives the connection and the DIP its packets are currently
+	// hashed to, so a software tier (switch CPU or SLB) can pin it.
+	OnOverflow func(now simtime.Time, tuple netproto.FiveTuple, dip dataplane.DIP)
+}
+
+// DefaultConfig returns the paper's control-plane operating point.
+func DefaultConfig() Config {
+	return Config{
+		InsertRate:      200_000,
+		RedirectLatency: simtime.Duration(2 * simtime.Millisecond),
+		AgingTimeout:    0,
+		AgingSweepEvery: simtime.Duration(30 * simtime.Second),
+		Mode:            ModeFullPCC,
+	}
+}
+
+// Metrics are the control plane's counters.
+type Metrics struct {
+	Inserted            uint64
+	DuplicateLearns     uint64
+	Overflows           uint64 // ConnTable full: connection left unpinned
+	DigestFPsResolved   uint64
+	BloomFPsResolved    uint64
+	RetransmittedSYNs   uint64
+	UpdatesRequested    uint64
+	UpdatesCompleted    uint64
+	UpdatesCoalesced    uint64 // request matched the pool already in force
+	VersionAllocs       uint64
+	VersionReuses       uint64
+	VersionExhaustions  uint64
+	ConnsEnded          uint64
+	AgedOut             uint64
+	ResilientFailovers  uint64
+	ResilientRecoveries uint64
+	InsertDelaySum      simtime.Duration // sum over inserts of (install - arrival)
+	MaxInsertQueue      int
+}
+
+// MeanInsertDelay returns the average arrival-to-install latency.
+func (m Metrics) MeanInsertDelay() simtime.Duration {
+	if m.Inserted == 0 {
+		return 0
+	}
+	return m.InsertDelaySum / simtime.Duration(m.Inserted)
+}
+
+type connShadow struct {
+	tuple     netproto.FiveTuple
+	vip       dataplane.VIP
+	version   uint32
+	installed bool
+	lastSeen  simtime.Time
+}
+
+type pendingInsert struct {
+	ev         learnfilter.Event
+	completeAt simtime.Time
+}
+
+type updState uint8
+
+const (
+	updIdle updState = iota
+	updRecording
+	updTransition
+)
+
+type updateReq struct {
+	at   simtime.Time
+	pool []dataplane.DIP
+}
+
+type vipCtl struct {
+	vip     dataplane.VIP
+	curVer  uint32
+	prevVer uint32 // old version of the in-flight update
+	// freeVers is the ring buffer of version numbers available for new
+	// pools (§4.2).
+	freeVers      []uint32
+	pools         map[uint32][]dataplane.DIP
+	connsPerVer   map[uint32]int
+	deadSlots     map[uint32]map[int]bool // version -> indices whose DIP left service
+	state         updState
+	treq, texec   simtime.Time
+	pendingNewVer uint32 // version chosen at t_req, swapped in at t_exec
+	queued        []updateReq
+	// metrics for Figure 15
+	versionsAllocated int
+	maxActive         int
+
+	// resilient is non-nil when the VIP opted into §7's resilient-hashing
+	// failure handling instead of version churn.
+	resilient *resilientState
+}
+
+// ControlPlane drives one SilkRoad switch.
+type ControlPlane struct {
+	sw  *dataplane.Switch
+	cfg Config
+
+	cpuFreeAt simtime.Time
+	queue     []pendingInsert
+
+	conns map[uint64]*connShadow // keyHash -> shadow
+	vips  map[dataplane.VIP]*vipCtl
+
+	activeUpdates int
+	wheel         *timewheel.Wheel // aging timers (nil when aging disabled)
+
+	metrics Metrics
+}
+
+// New creates a control plane for sw.
+func New(sw *dataplane.Switch, cfg Config) *ControlPlane {
+	if cfg.InsertRate <= 0 {
+		panic("ctrlplane: InsertRate must be positive")
+	}
+	cp := &ControlPlane{
+		sw:    sw,
+		cfg:   cfg,
+		conns: make(map[uint64]*connShadow),
+		vips:  make(map[dataplane.VIP]*vipCtl),
+	}
+	if cfg.AgingTimeout > 0 {
+		gran := cfg.AgingTimeout / 8
+		if gran < simtime.Duration(100*simtime.Millisecond) {
+			gran = simtime.Duration(100 * simtime.Millisecond)
+		}
+		cp.wheel = timewheel.New(gran, 64)
+	}
+	return cp
+}
+
+// Switch returns the managed data plane.
+func (cp *ControlPlane) Switch() *dataplane.Switch { return cp.sw }
+
+// Metrics returns a copy of the counters.
+func (cp *ControlPlane) Metrics() Metrics { return cp.metrics }
+
+// TrackedConns returns the number of connections in the software shadow.
+func (cp *ControlPlane) TrackedConns() int { return len(cp.conns) }
+
+// perInsert returns the CPU time of one ConnTable insertion.
+func (cp *ControlPlane) perInsert() simtime.Duration {
+	return simtime.Duration(float64(simtime.Second) / cp.cfg.InsertRate)
+}
+
+// AddVIP announces a VIP with its initial DIP pool. meterBytesPerSec > 0
+// attaches a hardware meter (0 disables metering for this VIP).
+func (cp *ControlPlane) AddVIP(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP, meterBytesPerSec float64) error {
+	if len(pool) == 0 {
+		return errors.New("ctrlplane: empty initial pool")
+	}
+	if _, dup := cp.vips[vip]; dup {
+		return dataplane.ErrVIPExists
+	}
+	if err := cp.sw.InstallVIP(vip, 0, pool, meterBytesPerSec); err != nil {
+		return err
+	}
+	maxVer := uint32(1) << uint(cp.sw.Config().VersionBits)
+	free := make([]uint32, 0, maxVer-1)
+	for v := uint32(1); v < maxVer; v++ {
+		free = append(free, v)
+	}
+	cp.vips[vip] = &vipCtl{
+		vip:               vip,
+		curVer:            0,
+		freeVers:          free,
+		pools:             map[uint32][]dataplane.DIP{0: clone(pool)},
+		connsPerVer:       map[uint32]int{},
+		deadSlots:         map[uint32]map[int]bool{},
+		versionsAllocated: 1,
+	}
+	return nil
+}
+
+// RemoveVIP withdraws a VIP entirely, dropping its connections.
+func (cp *ControlPlane) RemoveVIP(now simtime.Time, vip dataplane.VIP) error {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return dataplane.ErrUnknownVIP
+	}
+	if vc.state != updIdle {
+		cp.finishUpdate(now, vc)
+	}
+	for kh, sh := range cp.conns {
+		if sh.vip == vip {
+			if sh.installed {
+				cp.sw.DeleteConn(sh.tuple)
+			}
+			delete(cp.conns, kh)
+		}
+	}
+	delete(cp.vips, vip)
+	return cp.sw.RemoveVIP(vip)
+}
+
+// CurrentPool returns the pool new connections of vip map to.
+func (cp *ControlPlane) CurrentPool(vip dataplane.VIP) ([]dataplane.DIP, error) {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return nil, dataplane.ErrUnknownVIP
+	}
+	return clone(vc.pools[vc.curVer]), nil
+}
+
+// ActiveVersions returns the number of live pool versions for vip.
+func (cp *ControlPlane) ActiveVersions(vip dataplane.VIP) int {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return 0
+	}
+	return len(vc.pools)
+}
+
+// VersionsAllocated returns how many distinct version numbers vip has
+// consumed so far (Figure 15's quantity when reuse is disabled).
+func (cp *ControlPlane) VersionsAllocated(vip dataplane.VIP) int {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return 0
+	}
+	return vc.versionsAllocated
+}
+
+// MaxActiveVersions returns the largest number of pool versions vip has
+// held concurrently — the quantity that sizes the version field (a 6-bit
+// ring needs this to stay at or below 64).
+func (cp *ControlPlane) MaxActiveVersions(vip dataplane.VIP) int {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return 0
+	}
+	return vc.maxActive
+}
+
+// targetPool returns the pool an update request should be diffed against:
+// the newest requested state — the tail of the queue, the in-flight
+// update's target, or the current pool.
+func (vc *vipCtl) targetPool() []dataplane.DIP {
+	if n := len(vc.queued); n > 0 {
+		return vc.queued[n-1].pool
+	}
+	if vc.state == updRecording {
+		return vc.pools[vc.pendingNewVer]
+	}
+	return vc.pools[vc.curVer]
+}
+
+// AddDIP requests adding one DIP to vip's pool.
+func (cp *ControlPlane) AddDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return dataplane.ErrUnknownVIP
+	}
+	pool := clone(vc.targetPool())
+	pool = append(pool, dip)
+	return cp.RequestUpdate(now, vip, pool)
+}
+
+// RemoveDIP requests removing one DIP from vip's pool. The DIP is treated
+// as leaving service (its connections are dying anyway), which is what
+// permits later version reuse.
+func (cp *ControlPlane) RemoveDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return dataplane.ErrUnknownVIP
+	}
+	pool := clone(vc.targetPool())
+	out := pool[:0]
+	found := false
+	for _, d := range pool {
+		if !found && d == dip {
+			found = true
+			continue
+		}
+		out = append(out, d)
+	}
+	if !found {
+		return fmt.Errorf("ctrlplane: DIP %v not in pool of %v", dip, vip)
+	}
+	return cp.RequestUpdate(now, vip, out)
+}
+
+// RequestUpdate queues a DIP pool update for vip to the given target pool.
+// Updates of one VIP serialize; the update starts as soon as the VIP is
+// idle and completes with PCC under ModeFullPCC.
+func (cp *ControlPlane) RequestUpdate(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP) error {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return dataplane.ErrUnknownVIP
+	}
+	if len(pool) == 0 {
+		return errors.New("ctrlplane: update to empty pool")
+	}
+	if vc.resilient != nil {
+		return ErrResilientVIP
+	}
+	cp.metrics.UpdatesRequested++
+	if samePool(pool, vc.targetPool()) {
+		cp.metrics.UpdatesCoalesced++
+		return nil
+	}
+	vc.queued = append(vc.queued, updateReq{at: now, pool: clone(pool)})
+	cp.maybeStartUpdate(now, vc)
+	return nil
+}
+
+func clone(p []dataplane.DIP) []dataplane.DIP { return append([]dataplane.DIP(nil), p...) }
+
+// samePool compares pools as multisets.
+func samePool(a, b []dataplane.DIP) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[dataplane.DIP]int, len(a))
+	for _, d := range a {
+		m[d]++
+	}
+	for _, d := range b {
+		m[d]--
+		if m[d] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedVersions returns vc's pool versions in ascending order (for
+// deterministic reuse scans).
+func (vc *vipCtl) sortedVersions() []uint32 {
+	out := make([]uint32, 0, len(vc.pools))
+	for v := range vc.pools {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,152 @@
+package ctrlplane
+
+// §7's alternative failure handling: instead of minting a DIP pool version
+// on every failure (and consuming version-number space), a VIP can opt
+// into resilient hashing. Its DIPPoolTable row selects DIPs through a
+// fixed bucket table; when a DIP fails, only that DIP's buckets are
+// reassigned to survivors, so every connection to a surviving DIP keeps
+// its backend with NO version change and no TransitTable involvement.
+// When the DIP recovers, its original buckets are restored.
+//
+// The trade-off (exercised by BenchmarkAblationFailover): connections that
+// were established on a reassigned bucket during the failure window move
+// back at recovery — a small, bounded breakage the version-based path does
+// not have, in exchange for zero version churn.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataplane"
+	"repro/internal/simtime"
+)
+
+// Errors specific to resilient mode.
+var (
+	ErrResilientVIP   = errors.New("ctrlplane: VIP uses resilient hashing; use FailDIP/RecoverDIP")
+	ErrNotResilient   = errors.New("ctrlplane: VIP does not use resilient hashing")
+	ErrDIPNotDown     = errors.New("ctrlplane: DIP is not down")
+	ErrDIPAlreadyDown = errors.New("ctrlplane: DIP already down")
+	ErrLastDIP        = errors.New("ctrlplane: cannot fail the last live DIP")
+)
+
+type resilientState struct {
+	buckets []dataplane.DIP        // current bucket table
+	origin  []dataplane.DIP        // original owner of each bucket
+	down    map[dataplane.DIP]bool // failed members
+	live    []dataplane.DIP        // current live member list
+}
+
+// EnableResilientHashing switches vip's current pool version to resilient
+// bucket selection with bucketsPerDIP buckets per member. The VIP must be
+// idle (no update in flight); from then on, DIP failures are handled by
+// FailDIP/RecoverDIP instead of pool-version updates.
+func (cp *ControlPlane) EnableResilientHashing(vip dataplane.VIP, bucketsPerDIP int) error {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return dataplane.ErrUnknownVIP
+	}
+	if vc.state != updIdle || len(vc.queued) > 0 {
+		return errors.New("ctrlplane: cannot enable resilient hashing mid-update")
+	}
+	if vc.resilient != nil {
+		return errors.New("ctrlplane: resilient hashing already enabled")
+	}
+	if bucketsPerDIP <= 0 {
+		return errors.New("ctrlplane: bucketsPerDIP must be positive")
+	}
+	pool := vc.pools[vc.curVer]
+	if len(pool) == 0 {
+		return errors.New("ctrlplane: empty pool")
+	}
+	n := len(pool) * bucketsPerDIP
+	rs := &resilientState{
+		buckets: make([]dataplane.DIP, n),
+		origin:  make([]dataplane.DIP, n),
+		down:    make(map[dataplane.DIP]bool),
+		live:    clone(pool),
+	}
+	for i := 0; i < n; i++ {
+		rs.buckets[i] = pool[i%len(pool)]
+		rs.origin[i] = pool[i%len(pool)]
+	}
+	if err := cp.sw.WritePoolBuckets(vip, vc.curVer, rs.live, rs.buckets); err != nil {
+		return err
+	}
+	vc.resilient = rs
+	return nil
+}
+
+// Resilient reports whether vip uses resilient hashing.
+func (cp *ControlPlane) Resilient(vip dataplane.VIP) bool {
+	vc, ok := cp.vips[vip]
+	return ok && vc.resilient != nil
+}
+
+// FailDIP handles a DIP failure. For resilient VIPs it reassigns only the
+// failed member's buckets within the same pool version; for version-based
+// VIPs it falls back to a PCC-preserving RemoveDIP update.
+func (cp *ControlPlane) FailDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return dataplane.ErrUnknownVIP
+	}
+	rs := vc.resilient
+	if rs == nil {
+		return cp.RemoveDIP(now, vip, dip)
+	}
+	if rs.down[dip] {
+		return ErrDIPAlreadyDown
+	}
+	survivors := make([]dataplane.DIP, 0, len(rs.live)-1)
+	for _, d := range rs.live {
+		if d != dip {
+			survivors = append(survivors, d)
+		}
+	}
+	if len(survivors) == len(rs.live) {
+		return fmt.Errorf("ctrlplane: DIP %v not in pool of %v", dip, vip)
+	}
+	if len(survivors) == 0 {
+		return ErrLastDIP
+	}
+	k := 0
+	for i := range rs.buckets {
+		if rs.buckets[i] == dip {
+			rs.buckets[i] = survivors[k%len(survivors)]
+			k++
+		}
+	}
+	rs.down[dip] = true
+	rs.live = survivors
+	vc.pools[vc.curVer] = clone(rs.live)
+	cp.metrics.ResilientFailovers++
+	return cp.sw.WritePoolBuckets(vip, vc.curVer, rs.live, rs.buckets)
+}
+
+// RecoverDIP restores a previously failed DIP of a resilient VIP to
+// exactly the buckets it owned originally. For version-based VIPs it falls
+// back to AddDIP.
+func (cp *ControlPlane) RecoverDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return dataplane.ErrUnknownVIP
+	}
+	rs := vc.resilient
+	if rs == nil {
+		return cp.AddDIP(now, vip, dip)
+	}
+	if !rs.down[dip] {
+		return ErrDIPNotDown
+	}
+	for i := range rs.buckets {
+		if rs.origin[i] == dip {
+			rs.buckets[i] = dip
+		}
+	}
+	delete(rs.down, dip)
+	rs.live = append(rs.live, dip)
+	vc.pools[vc.curVer] = clone(rs.live)
+	cp.metrics.ResilientRecoveries++
+	return cp.sw.WritePoolBuckets(vip, vc.curVer, rs.live, rs.buckets)
+}

@@ -1,0 +1,97 @@
+package cuckoo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// occupancyAtFirstFailure fills a table until an insert fails and returns
+// the achieved load factor.
+func occupancyAtFirstFailure(stages, ways, buckets int, seed int64) float64 {
+	cfg := Config{
+		Stages: stages, BucketsPerStage: buckets, Ways: ways,
+		DigestBits: 16, ValueBits: 6, OverheadBits: 6, Seed: uint64(seed),
+	}
+	tab := New(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		k := rng.Uint64()
+		if _, err := tab.Insert(k, uint32(k>>48), 0); err != nil {
+			return tab.Occupancy()
+		}
+	}
+}
+
+// TestOccupancyAblation quantifies the design-choice table in DESIGN.md:
+// more stage-choices and more ways per bucket both raise the load factor
+// the cuckoo table reaches before inserts fail.
+func TestOccupancyAblation(t *testing.T) {
+	type variant struct {
+		stages, ways int
+		minOcc       float64
+	}
+	variants := []variant{
+		{2, 1, 0.40}, // 2 choices, direct-mapped: poor
+		{2, 4, 0.85},
+		{4, 1, 0.80},
+		{4, 4, 0.93}, // the paper's operating point
+	}
+	occ := map[string]float64{}
+	for _, v := range variants {
+		buckets := 4096 / v.ways
+		o := occupancyAtFirstFailure(v.stages, v.ways, buckets, 31)
+		occ[fmt.Sprintf("%dx%d", v.stages, v.ways)] = o
+		if o < v.minOcc {
+			t.Errorf("stages=%d ways=%d occupancy %.3f < %.2f", v.stages, v.ways, o, v.minOcc)
+		}
+	}
+	if occ["4x4"] <= occ["2x1"] {
+		t.Fatalf("associativity did not help: %v", occ)
+	}
+}
+
+// BenchmarkOccupancyAblation reports the achieved load factor per
+// configuration as a benchmark metric.
+func BenchmarkOccupancyAblation(b *testing.B) {
+	for _, v := range []struct{ stages, ways int }{{2, 1}, {2, 4}, {4, 1}, {4, 4}, {8, 4}} {
+		b.Run(fmt.Sprintf("stages=%d,ways=%d", v.stages, v.ways), func(b *testing.B) {
+			var occ float64
+			for i := 0; i < b.N; i++ {
+				occ = occupancyAtFirstFailure(v.stages, v.ways, 2048/v.ways, int64(i+1))
+			}
+			b.ReportMetric(occ*100, "%occupancy")
+		})
+	}
+}
+
+// BenchmarkMovesPerInsert reports how many displacement moves inserts cost
+// as the table fills — the switch-CPU work the paper's 200K/s budget must
+// cover.
+func BenchmarkMovesPerInsert(b *testing.B) {
+	for _, load := range []float64{0.5, 0.8, 0.9} {
+		b.Run(fmt.Sprintf("load=%.0f%%", load*100), func(b *testing.B) {
+			cfg := testConfig(4096)
+			tab := New(cfg)
+			rng := rand.New(rand.NewSource(32))
+			target := int(float64(tab.Capacity()) * load)
+			for tab.Len() < target {
+				k := rng.Uint64()
+				tab.Insert(k, digestOf(k), 0)
+			}
+			movesBefore := tab.TotalMoves
+			inserted := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := rng.Uint64()
+				if _, err := tab.Insert(k, digestOf(k), 0); err == nil {
+					inserted++
+					tab.Delete(k)
+				}
+			}
+			if inserted > 0 {
+				b.ReportMetric(float64(tab.TotalMoves-movesBefore)/float64(inserted), "moves/insert")
+			}
+		})
+	}
+}

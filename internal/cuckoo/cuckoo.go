@@ -1,0 +1,491 @@
+// Package cuckoo implements the multi-stage exact-match table substrate that
+// SilkRoad's ConnTable compiles to (§4.1-4.2 of the paper).
+//
+// A large exact-match table on a switching ASIC is instantiated across
+// several physical pipeline stages. Each stage holds an array of SRAM
+// words; with word packing, one 112-bit word stores four 28-bit connection
+// entries (16-bit digest + 6-bit version + 6-bit overhead). Each stage uses
+// an independent hash function to address its words, so an entry can live
+// in any one of Stages alternative buckets — a (Stages x Ways)-way cuckoo
+// table. Lookups probe all stages and take the first digest match in
+// pipeline order; inserts and deletes are performed by the switch CPU,
+// which runs a breadth-first search over displacement moves to make room.
+//
+// Because the match field is a digest rather than the full key, two
+// distinct keys can alias: same bucket in some stage, same digest. The
+// table exposes the paper's remedy — relocating the aliased entry to a
+// different stage whose hash function separates the two keys — via
+// post-insert verification (VerifyAndFix).
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashing"
+)
+
+// Config parameterizes a table.
+type Config struct {
+	Stages          int // physical stages the table spans
+	BucketsPerStage int // SRAM words per stage
+	Ways            int // entries packed into one word
+	DigestBits      int // match-field width (paper: 16 or 24)
+	// DigestBitsPerStage optionally assigns each stage its own digest
+	// width (§7: "use different digest sizes in different stages to reduce
+	// the overall false positives"). Widths must not exceed DigestBits;
+	// insertion prefers wider-digest stages while they have room. Nil
+	// means every stage uses DigestBits.
+	DigestBitsPerStage []int
+	ValueBits          int    // action-data width (paper: 6-bit version)
+	OverheadBits       int    // per-entry packing overhead (paper: 6)
+	WordBits           int    // SRAM word width (paper: 112)
+	Seed               uint64 // hash family master seed
+	MaxBFSNodes        int    // insertion search budget (0 = default 4096)
+}
+
+// DefaultConfig returns the paper's operating point sized for n entries at
+// ~90% target occupancy.
+func DefaultConfig(n int) Config {
+	stages := 4
+	ways := 4
+	buckets := n / (stages * ways * 9 / 10)
+	if buckets < 1 {
+		buckets = 1
+	}
+	return Config{
+		Stages:          stages,
+		BucketsPerStage: buckets,
+		Ways:            ways,
+		DigestBits:      16,
+		ValueBits:       6,
+		OverheadBits:    6,
+		WordBits:        112,
+		Seed:            0x51_1c_0a_d0,
+	}
+}
+
+// Handle identifies a physical entry location.
+type Handle struct {
+	Stage, Bucket, Way int
+}
+
+type slot struct {
+	occupied bool
+	digest   uint32
+	value    uint32
+	// keyHash is the software shadow of the full key (the switch CPU keeps
+	// complete 5-tuples for every installed entry). The hardware lookup
+	// path never consults it; relocation and deletion do.
+	keyHash uint64
+}
+
+// Table is a multi-stage cuckoo hash table.
+type Table struct {
+	cfg        Config
+	stages     [][]slot // [stage][bucket*ways+way]
+	family     *hashing.Family
+	len        int
+	stageBits  []int // digest width per stage
+	stageOrder []int // stages in descending digest width (insert preference)
+
+	// metrics
+	TotalMoves     int // displacement moves performed by inserts
+	Relocations    int // alias-resolving relocations (digest collisions)
+	FailedInserts  int
+	AliasesFixed   int
+	lookupsCounter uint64
+}
+
+// Errors returned by Insert and relocation.
+var (
+	ErrTableFull  = errors.New("cuckoo: no insertion path found (table full)")
+	ErrNotFound   = errors.New("cuckoo: entry not found")
+	ErrUnresolved = errors.New("cuckoo: could not resolve digest alias")
+	errBadHandle  = errors.New("cuckoo: invalid handle")
+	ErrDuplicate  = errors.New("cuckoo: key already present")
+)
+
+// New creates a table from cfg.
+func New(cfg Config) *Table {
+	if cfg.Stages <= 0 || cfg.BucketsPerStage <= 0 || cfg.Ways <= 0 {
+		panic("cuckoo: stages, buckets and ways must be positive")
+	}
+	if cfg.DigestBits <= 0 || cfg.DigestBits > 32 {
+		panic("cuckoo: digest bits must be in 1..32")
+	}
+	if cfg.MaxBFSNodes == 0 {
+		cfg.MaxBFSNodes = 4096
+	}
+	if cfg.WordBits == 0 {
+		cfg.WordBits = 112
+	}
+	bits := make([]int, cfg.Stages)
+	for s := range bits {
+		bits[s] = cfg.DigestBits
+	}
+	if cfg.DigestBitsPerStage != nil {
+		if len(cfg.DigestBitsPerStage) != cfg.Stages {
+			panic("cuckoo: DigestBitsPerStage length must equal Stages")
+		}
+		for s, b := range cfg.DigestBitsPerStage {
+			if b <= 0 || b > cfg.DigestBits {
+				panic("cuckoo: per-stage digest width must be in 1..DigestBits")
+			}
+			bits[s] = b
+		}
+	}
+	order := make([]int, cfg.Stages)
+	for s := range order {
+		order[s] = s
+	}
+	// Stable sort by descending width so wider-digest (lower-FP) stages
+	// fill first.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && bits[order[j]] > bits[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	t := &Table{
+		cfg:        cfg,
+		stages:     make([][]slot, cfg.Stages),
+		family:     hashing.NewFamily(cfg.Stages, cfg.Seed),
+		stageBits:  bits,
+		stageOrder: order,
+	}
+	for s := range t.stages {
+		t.stages[s] = make([]slot, cfg.BucketsPerStage*cfg.Ways)
+	}
+	return t
+}
+
+// stageDigest truncates a full-width digest to stage s's width (hardware
+// stores only the top bits in narrower stages; software keeps the full
+// digest for relocations).
+func (t *Table) stageDigest(s int, digest uint32) uint32 {
+	return digest >> uint(t.cfg.DigestBits-t.stageBits[s])
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int { return t.len }
+
+// Capacity returns the total number of entry slots.
+func (t *Table) Capacity() int { return t.cfg.Stages * t.cfg.BucketsPerStage * t.cfg.Ways }
+
+// Occupancy returns Len/Capacity.
+func (t *Table) Occupancy() float64 { return float64(t.len) / float64(t.Capacity()) }
+
+// EntryBits returns the packed width of one entry at the widest stage.
+func (t *Table) EntryBits() int { return t.cfg.DigestBits + t.cfg.ValueBits + t.cfg.OverheadBits }
+
+// EntryBitsStage returns the packed entry width in stage s.
+func (t *Table) EntryBitsStage(s int) int {
+	return t.stageBits[s] + t.cfg.ValueBits + t.cfg.OverheadBits
+}
+
+// SRAMBytes returns the table's SRAM footprint. With uniform digests every
+// stage costs the same words; narrower-digest stages pack more entries per
+// word and need fewer words for the same way count.
+func (t *Table) SRAMBytes() int {
+	total := 0
+	for s := 0; s < t.cfg.Stages; s++ {
+		perWord := t.cfg.WordBits / t.EntryBitsStage(s)
+		if perWord < 1 {
+			perWord = 1
+		}
+		slots := t.cfg.BucketsPerStage * t.cfg.Ways
+		words := (slots + perWord - 1) / perWord
+		total += words * t.cfg.WordBits / 8
+	}
+	return total
+}
+
+// bucketIndex returns the bucket of keyHash in stage s.
+func (t *Table) bucketIndex(s int, keyHash uint64) int {
+	return int(t.family.HashUint64(s, keyHash) % uint64(t.cfg.BucketsPerStage))
+}
+
+// Lookup performs the hardware lookup: probe each stage's bucket in
+// pipeline order and return the first slot whose digest matches. The
+// returned handle lets software-side callers inspect the matched entry.
+func (t *Table) Lookup(keyHash uint64, digest uint32) (value uint32, h Handle, ok bool) {
+	t.lookupsCounter++
+	for s := 0; s < t.cfg.Stages; s++ {
+		b := t.bucketIndex(s, keyHash)
+		base := b * t.cfg.Ways
+		want := t.stageDigest(s, digest)
+		for w := 0; w < t.cfg.Ways; w++ {
+			sl := &t.stages[s][base+w]
+			if sl.occupied && t.stageDigest(s, sl.digest) == want {
+				return sl.value, Handle{s, b, w}, true
+			}
+		}
+	}
+	return 0, Handle{}, false
+}
+
+// EntryKeyHash exposes the software shadow of the entry at h, used by the
+// control plane to detect digest false positives (a SYN that matched an
+// entry whose true key differs).
+func (t *Table) EntryKeyHash(h Handle) (uint64, error) {
+	sl, err := t.slotAt(h)
+	if err != nil {
+		return 0, err
+	}
+	if !sl.occupied {
+		return 0, ErrNotFound
+	}
+	return sl.keyHash, nil
+}
+
+// ValueAt returns the value stored at h.
+func (t *Table) ValueAt(h Handle) (uint32, error) {
+	sl, err := t.slotAt(h)
+	if err != nil {
+		return 0, err
+	}
+	if !sl.occupied {
+		return 0, ErrNotFound
+	}
+	return sl.value, nil
+}
+
+func (t *Table) slotAt(h Handle) (*slot, error) {
+	if h.Stage < 0 || h.Stage >= t.cfg.Stages ||
+		h.Bucket < 0 || h.Bucket >= t.cfg.BucketsPerStage ||
+		h.Way < 0 || h.Way >= t.cfg.Ways {
+		return nil, errBadHandle
+	}
+	return &t.stages[h.Stage][h.Bucket*t.cfg.Ways+h.Way], nil
+}
+
+// findExact locates the entry whose software shadow matches keyHash.
+func (t *Table) findExact(keyHash uint64) (Handle, bool) {
+	for s := 0; s < t.cfg.Stages; s++ {
+		b := t.bucketIndex(s, keyHash)
+		base := b * t.cfg.Ways
+		for w := 0; w < t.cfg.Ways; w++ {
+			if sl := &t.stages[s][base+w]; sl.occupied && sl.keyHash == keyHash {
+				return Handle{s, b, w}, true
+			}
+		}
+	}
+	return Handle{}, false
+}
+
+// Insert installs keyHash->value with the given digest, running the cuckoo
+// BFS if all candidate slots are taken, then verifies that a lookup of the
+// new key actually resolves to the new entry, relocating aliased entries if
+// necessary. Returns the number of displacement moves performed.
+func (t *Table) Insert(keyHash uint64, digest uint32, value uint32) (moves int, err error) {
+	if _, dup := t.findExact(keyHash); dup {
+		return 0, ErrDuplicate
+	}
+	h, moves, err := t.place(keyHash, digest, value)
+	if err != nil {
+		t.FailedInserts++
+		return moves, err
+	}
+	t.len++
+	if err := t.verifyAndFix(keyHash, digest, h); err != nil {
+		return moves, err
+	}
+	return moves, nil
+}
+
+// place finds a slot for the new entry, displacing existing entries if
+// needed, and returns the final handle of the new entry.
+func (t *Table) place(keyHash uint64, digest uint32, value uint32) (Handle, int, error) {
+	// Fast path: a free way in any candidate bucket, preferring
+	// wider-digest stages (lower false-positive probability).
+	for _, s := range t.stageOrder {
+		b := t.bucketIndex(s, keyHash)
+		base := b * t.cfg.Ways
+		for w := 0; w < t.cfg.Ways; w++ {
+			if !t.stages[s][base+w].occupied {
+				t.stages[s][base+w] = slot{occupied: true, digest: digest, value: value, keyHash: keyHash}
+				return Handle{s, b, w}, 0, nil
+			}
+		}
+	}
+	// BFS over displacement moves: nodes are (handle of an occupied slot we
+	// would vacate). Expanding a node means moving its occupant to one of
+	// its alternative buckets; if that bucket has a free way we found a
+	// path.
+	var queue []bfsNode
+	visited := map[Handle]bool{}
+	for s := 0; s < t.cfg.Stages; s++ {
+		b := t.bucketIndex(s, keyHash)
+		for w := 0; w < t.cfg.Ways; w++ {
+			h := Handle{s, b, w}
+			queue = append(queue, bfsNode{h, -1})
+			visited[h] = true
+		}
+	}
+	for i := 0; i < len(queue) && len(queue) < t.cfg.MaxBFSNodes; i++ {
+		cur := queue[i]
+		occ, _ := t.slotAt(cur.h)
+		// Try to move occ's occupant to each of its alternative buckets.
+		for s := 0; s < t.cfg.Stages; s++ {
+			if s == cur.h.Stage {
+				continue
+			}
+			b := t.bucketIndex(s, occ.keyHash)
+			base := b * t.cfg.Ways
+			for w := 0; w < t.cfg.Ways; w++ {
+				dst := Handle{s, b, w}
+				dstSlot := &t.stages[s][base+w]
+				if !dstSlot.occupied {
+					// Found a free slot: unwind the move chain. Move
+					// cur's occupant to dst, then each ancestor's
+					// occupant into the slot its child vacated.
+					moves := t.applyChain(queue, cur, dst)
+					// The root slot (first ancestor) is now free for the
+					// new entry.
+					root := cur
+					for root.parent != -1 {
+						root = queue[root.parent]
+					}
+					rootSlot, _ := t.slotAt(root.h)
+					*rootSlot = slot{occupied: true, digest: digest, value: value, keyHash: keyHash}
+					t.TotalMoves += moves
+					return root.h, moves, nil
+				}
+				if !visited[dst] {
+					visited[dst] = true
+					queue = append(queue, bfsNode{dst, i})
+				}
+			}
+		}
+	}
+	return Handle{}, 0, ErrTableFull
+}
+
+// bfsNode is one frontier element of the insertion search: an occupied slot
+// and the index of the node whose expansion reached it.
+type bfsNode struct {
+	h      Handle
+	parent int
+}
+
+// applyChain moves occupants along the BFS parent chain: the occupant of
+// leaf moves to free, the occupant of leaf's parent moves into leaf's old
+// slot, and so on up to the root. Returns the number of moves.
+func (t *Table) applyChain(queue []bfsNode, leaf bfsNode, free Handle) int {
+	moves := 0
+	cur := leaf
+	dst := free
+	for {
+		src, _ := t.slotAt(cur.h)
+		d, _ := t.slotAt(dst)
+		*d = *src
+		src.occupied = false
+		moves++
+		if cur.parent == -1 {
+			break
+		}
+		dst = cur.h
+		cur = queue[cur.parent]
+	}
+	return moves
+}
+
+// verifyAndFix ensures that looking up keyHash returns the entry at want.
+// If an entry in an earlier stage aliases (same bucket index for this key,
+// same digest, different key), it is relocated to another stage where the
+// keys separate — the paper's SYN-collision resolution. Bounded retries.
+func (t *Table) verifyAndFix(keyHash uint64, digest uint32, want Handle) error {
+	for attempt := 0; attempt < 8; attempt++ {
+		_, got, ok := t.Lookup(keyHash, digest)
+		if !ok {
+			return ErrNotFound // cannot happen if want is installed
+		}
+		sl, _ := t.slotAt(got)
+		if sl.keyHash == keyHash {
+			return nil
+		}
+		// got aliases keyHash: relocate the aliasing entry.
+		if err := t.relocate(got); err != nil {
+			return fmt.Errorf("%w: %v", ErrUnresolved, err)
+		}
+		t.AliasesFixed++
+	}
+	return ErrUnresolved
+}
+
+// Relocate moves the entry at h to a different stage, resolving a digest
+// collision detected by the control plane (a redirected SYN). The entry's
+// own lookup invariant is re-verified after the move.
+func (t *Table) Relocate(h Handle) error { return t.relocate(h) }
+
+func (t *Table) relocate(h Handle) error {
+	src, err := t.slotAt(h)
+	if err != nil {
+		return err
+	}
+	if !src.occupied {
+		return ErrNotFound
+	}
+	moved := *src
+	for s := 0; s < t.cfg.Stages; s++ {
+		if s == h.Stage {
+			continue
+		}
+		b := t.bucketIndex(s, moved.keyHash)
+		base := b * t.cfg.Ways
+		for w := 0; w < t.cfg.Ways; w++ {
+			if !t.stages[s][base+w].occupied {
+				t.stages[s][base+w] = moved
+				src.occupied = false
+				t.Relocations++
+				// The moved entry must still resolve to itself.
+				return t.verifyAndFix(moved.keyHash, moved.digest, Handle{s, b, w})
+			}
+		}
+	}
+	return ErrTableFull
+}
+
+// Delete removes the entry whose software shadow is keyHash. Returns false
+// if no such entry exists.
+func (t *Table) Delete(keyHash uint64) bool {
+	h, ok := t.findExact(keyHash)
+	if !ok {
+		return false
+	}
+	sl, _ := t.slotAt(h)
+	sl.occupied = false
+	t.len--
+	return true
+}
+
+// UpdateValue rewrites the action data of the entry for keyHash.
+func (t *Table) UpdateValue(keyHash uint64, value uint32) error {
+	h, ok := t.findExact(keyHash)
+	if !ok {
+		return ErrNotFound
+	}
+	sl, _ := t.slotAt(h)
+	sl.value = value
+	return nil
+}
+
+// Iterate calls fn for every installed entry until fn returns false.
+func (t *Table) Iterate(fn func(keyHash uint64, digest uint32, value uint32) bool) {
+	for s := range t.stages {
+		for i := range t.stages[s] {
+			sl := &t.stages[s][i]
+			if sl.occupied {
+				if !fn(sl.keyHash, sl.digest, sl.value) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Lookups returns the number of Lookup calls served (hardware probe count).
+func (t *Table) Lookups() uint64 { return t.lookupsCounter }

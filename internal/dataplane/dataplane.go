@@ -1,0 +1,369 @@
+// Package dataplane implements the SilkRoad switch data plane — the part of
+// the system that is a ~400-line P4 program in the paper (Figure 10):
+//
+//	packet -> ConnTable (digest -> version) --hit--> DIPPoolTable -> forward
+//	            |miss
+//	            v
+//	         VIPTable (VIP -> version), and if the VIP is mid-update,
+//	         TransitTable (bloom filter of pending connections) decides
+//	         between the old and new version; misses trigger learning.
+//
+// Everything here corresponds to hardware behaviour: lookups, per-packet
+// bloom reads/writes, learn-event generation, metering and forwarding. All
+// table mutations (inserts, version swaps, pool writes) are CPU-side
+// operations exposed as methods for the ctrlplane package to call —
+// mirroring the ASIC/switch-CPU split that creates the PCC problem in the
+// first place.
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/asic"
+	"repro/internal/bloom"
+	"repro/internal/cuckoo"
+	"repro/internal/hashing"
+	"repro/internal/learnfilter"
+	"repro/internal/netproto"
+	"repro/internal/regarray"
+	"repro/internal/simtime"
+)
+
+// VIP identifies a load-balanced service: a virtual address, port and
+// protocol. It is comparable and used as the VIPTable key.
+type VIP struct {
+	Addr  netip.Addr
+	Port  uint16
+	Proto netproto.Proto
+}
+
+// String renders the VIP as addr:port/proto.
+func (v VIP) String() string {
+	return fmt.Sprintf("%s/%s", netip.AddrPortFrom(v.Addr, v.Port), v.Proto)
+}
+
+// VIPOf extracts the VIP a packet is addressed to.
+func VIPOf(t netproto.FiveTuple) VIP {
+	return VIP{Addr: t.Dst, Port: t.DstPort, Proto: t.Proto}
+}
+
+// DIP is a direct (backend) address: IP and port.
+type DIP = netip.AddrPort
+
+// Config parameterizes a SilkRoad switch instance.
+type Config struct {
+	Chip                asic.Config
+	ConnTableEntries    int              // sizing target for ConnTable
+	DigestBits          int              // 16 (paper default) or 24
+	VersionBits         int              // 6 (paper default)
+	TransitTableBytes   int              // 256 (paper default)
+	TransitTableHashes  int              // 4
+	LearnFilterCapacity int              // 2048
+	LearnFilterTimeout  simtime.Duration // 1 ms
+	DisableTransit      bool             // ablation: SilkRoad w/o TransitTable
+	Seed                uint64
+}
+
+// DefaultConfig returns the paper's operating point for a switch expected
+// to hold n connections.
+func DefaultConfig(n int) Config {
+	return Config{
+		Chip:                asic.Tofino64(),
+		ConnTableEntries:    n,
+		DigestBits:          16,
+		VersionBits:         6,
+		TransitTableBytes:   256,
+		TransitTableHashes:  4,
+		LearnFilterCapacity: 2048,
+		LearnFilterTimeout:  simtime.Duration(simtime.Millisecond),
+		Seed:                0xa5a5,
+	}
+}
+
+// Verdict classifies the outcome of processing one packet.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictForward: the packet was forwarded to Result.DIP at line rate.
+	VerdictForward Verdict = iota
+	// VerdictNoVIP: destination is not a registered VIP.
+	VerdictNoVIP
+	// VerdictMeterDrop: the VIP's meter marked the packet red.
+	VerdictMeterDrop
+	// VerdictRedirectSYNConn: a SYN matched an existing ConnTable entry —
+	// a suspected digest false positive; the CPU must arbitrate (§4.2).
+	VerdictRedirectSYNConn
+	// VerdictRedirectSYNTransit: a SYN matched the TransitTable during
+	// step 2 of an update — a suspected bloom false positive (§4.3).
+	VerdictRedirectSYNTransit
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictNoVIP:
+		return "no-vip"
+	case VerdictMeterDrop:
+		return "meter-drop"
+	case VerdictRedirectSYNConn:
+		return "redirect-syn-conntable"
+	case VerdictRedirectSYNTransit:
+		return "redirect-syn-transittable"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// Result reports what the pipeline did with a packet.
+type Result struct {
+	Verdict    Verdict
+	DIP        DIP    // meaningful when Verdict is VerdictForward or a redirect
+	Version    uint32 // DIP pool version used
+	ConnHit    bool   // served from ConnTable
+	TransitHit bool   // bloom said "pending"
+	Learned    bool   // generated a learn event
+	ConnHandle cuckoo.Handle
+	KeyHash    uint64
+	Digest     uint32
+}
+
+// Stats are the data plane's hardware counters.
+type Stats struct {
+	Packets             uint64
+	NoVIP               uint64
+	MeterDrops          uint64
+	ConnHits            uint64
+	ConnMisses          uint64
+	TransitChecks       uint64
+	TransitHits         uint64
+	TransitInserts      uint64
+	SYNRedirectConn     uint64
+	SYNRedirectTransit  uint64
+	LearnOffers         uint64
+	ForwardedOldVersion uint64 // packets pinned to an old pool by TransitTable
+}
+
+// vipState is the hardware state for one VIP: its VIPTable row, update
+// flags, meter, and DIPPoolTable rows.
+type vipState struct {
+	vip       VIP
+	id        uint32
+	curVer    uint32
+	oldVer    uint32
+	inUpdate  bool // step 2: misses consult TransitTable
+	recording bool // step 1: misses are inserted into TransitTable
+	pools     map[uint32]poolRow
+	meter     *regarray.Meter // nil = unmetered
+}
+
+// Switch is one SilkRoad data plane instance on a chip.
+type Switch struct {
+	cfg     Config
+	chip    *asic.Chip
+	conn    *cuckoo.Table
+	transit *bloom.Filter
+	learn   *learnfilter.Filter
+	vips    map[VIP]*vipState
+	nextID  uint32
+
+	connSeed   uint64 // key hashing
+	digestSeed uint64
+	dipSeed    uint64 // DIP selection within a pool
+
+	stats Stats
+}
+
+// New builds a switch, allocating its tables on the chip and accounting
+// their hardware resources.
+func New(cfg Config) (*Switch, error) {
+	if cfg.ConnTableEntries <= 0 {
+		return nil, errors.New("dataplane: ConnTableEntries must be positive")
+	}
+	if cfg.VersionBits <= 0 || cfg.VersionBits > 16 {
+		return nil, errors.New("dataplane: VersionBits must be in 1..16")
+	}
+	chip := asic.NewChip(cfg.Chip)
+	tcfg := cuckoo.DefaultConfig(cfg.ConnTableEntries)
+	tcfg.DigestBits = cfg.DigestBits
+	tcfg.ValueBits = cfg.VersionBits
+	tcfg.Seed = cfg.Seed ^ 0xc077
+	// IPv6 worst case key width feeds the crossbar.
+	conn, err := chip.AllocExactMatch("ConnTable", tcfg, 37*8)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: ConnTable: %w", err)
+	}
+	var transit *bloom.Filter
+	if !cfg.DisableTransit {
+		transit, err = chip.AllocBloom("TransitTable", cfg.TransitTableBytes, cfg.TransitTableHashes, cfg.Seed^0x7a51)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: TransitTable: %w", err)
+		}
+	}
+	learn, err := chip.AllocLearnFilter(cfg.LearnFilterCapacity, cfg.LearnFilterTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: learning filter: %w", err)
+	}
+	return &Switch{
+		cfg:        cfg,
+		chip:       chip,
+		conn:       conn,
+		transit:    transit,
+		learn:      learn,
+		vips:       make(map[VIP]*vipState),
+		connSeed:   cfg.Seed ^ 0x5eed_c0_11,
+		digestSeed: cfg.Seed ^ 0xd16e_57,
+		dipSeed:    cfg.Seed ^ 0xd1_90_01,
+	}, nil
+}
+
+// Config returns the switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Chip exposes the hosting chip (for resource reports).
+func (s *Switch) Chip() *asic.Chip { return s.chip }
+
+// ConnTable exposes the connection table (read-mostly; the control plane
+// mutates it through InsertConn/DeleteConn).
+func (s *Switch) ConnTable() *cuckoo.Table { return s.conn }
+
+// LearnFilter exposes the learning filter for the control plane to drain.
+func (s *Switch) LearnFilter() *learnfilter.Filter { return s.learn }
+
+// Stats returns a copy of the hardware counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// KeyHash returns the 64-bit connection key hash used for table addressing
+// and bloom membership.
+func (s *Switch) KeyHash(t netproto.FiveTuple) uint64 {
+	var buf [37]byte
+	return hashing.Hash64(s.connSeed, t.KeyBytes(buf[:]))
+}
+
+// ConnDigest returns the connection digest stored as the ConnTable match
+// field.
+func (s *Switch) ConnDigest(t netproto.FiveTuple) uint32 {
+	var buf [37]byte
+	return hashing.Digest(s.digestSeed, s.cfg.DigestBits, t.KeyBytes(buf[:]))
+}
+
+// Process runs one packet through the pipeline (Figure 10) and returns the
+// forwarding decision. It never blocks and performs no CPU-side work; it
+// may enqueue a learn event or redirect a SYN to the CPU.
+func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
+	s.stats.Packets++
+	vs, ok := s.vips[VIPOf(pkt.Tuple)]
+	if !ok {
+		s.stats.NoVIP++
+		return Result{Verdict: VerdictNoVIP}
+	}
+	if vs.meter != nil && vs.meter.Mark(now, 40+len(pkt.Payload)) == regarray.Red {
+		s.stats.MeterDrops++
+		return Result{Verdict: VerdictMeterDrop}
+	}
+	keyHash := s.KeyHash(pkt.Tuple)
+	digest := s.ConnDigest(pkt.Tuple)
+	res := Result{KeyHash: keyHash, Digest: digest}
+
+	if ver, h, hit := s.conn.Lookup(keyHash, digest); hit {
+		s.stats.ConnHits++
+		res.ConnHit = true
+		res.Version = ver
+		res.ConnHandle = h
+		res.DIP = s.selectDIP(vs, ver, keyHash)
+		if pkt.IsSYN() {
+			// A connection-opening packet should miss; a hit suggests a
+			// digest false positive (or a retransmitted SYN of a pending
+			// connection). The CPU arbitrates using its 5-tuple shadow.
+			s.stats.SYNRedirectConn++
+			res.Verdict = VerdictRedirectSYNConn
+			return res
+		}
+		res.Verdict = VerdictForward
+		return res
+	}
+	s.stats.ConnMisses++
+
+	// ConnTable miss: VIPTable decides the version.
+	ver := vs.curVer
+	if vs.inUpdate && s.transit != nil {
+		s.stats.TransitChecks++
+		if s.transit.MaybeContains(keyHash) {
+			s.stats.TransitHits++
+			res.TransitHit = true
+			ver = vs.oldVer
+			s.stats.ForwardedOldVersion++
+			if pkt.IsSYN() {
+				// A new connection cannot be pending; suspected bloom
+				// false positive — CPU arbitrates (§4.3).
+				s.stats.SYNRedirectTransit++
+				res.Version = ver
+				res.DIP = s.selectDIP(vs, ver, keyHash)
+				res.Verdict = VerdictRedirectSYNTransit
+				return res
+			}
+		}
+	}
+	if vs.recording && s.transit != nil {
+		// Step 1: remember every pending connection of this VIP.
+		s.transit.Insert(keyHash)
+		s.stats.TransitInserts++
+	}
+	res.Version = ver
+	res.DIP = s.selectDIP(vs, ver, keyHash)
+	// Trigger learning: the CPU will install keyHash -> ver.
+	if s.learn.Offer(learnfilter.Event{
+		Tuple:   pkt.Tuple,
+		KeyHash: keyHash,
+		Digest:  digest,
+		VIPID:   vs.id,
+		Version: ver,
+		At:      now,
+	}) {
+		res.Learned = true
+		s.stats.LearnOffers++
+	}
+	res.Verdict = VerdictForward
+	return res
+}
+
+// poolRow is one DIPPoolTable row. Plain rows select by hash-mod over the
+// DIP list; resilient rows (§7's alternative failure handling) select
+// through a fixed bucket table so that one member's failure only remaps
+// that member's buckets.
+type poolRow struct {
+	dips    []DIP
+	buckets []DIP // nil for plain rows
+}
+
+// selectDIP picks the DIP for a connection within a fixed pool version by
+// hashing the connection key over the pool (the per-version hash the paper
+// relies on: a pool never changes once created, so the choice is stable),
+// or through the row's resilient bucket table when one is installed.
+func (s *Switch) selectDIP(vs *vipState, ver uint32, keyHash uint64) DIP {
+	row := vs.pools[ver]
+	if len(row.buckets) > 0 {
+		return row.buckets[hashing.HashUint64(s.dipSeed, keyHash)%uint64(len(row.buckets))]
+	}
+	if len(row.dips) == 0 {
+		return DIP{}
+	}
+	return row.dips[hashing.HashUint64(s.dipSeed, keyHash)%uint64(len(row.dips))]
+}
+
+// SelectDIP is the exported form used by the control plane when resolving
+// redirected SYNs.
+func (s *Switch) SelectDIP(vip VIP, ver uint32, t netproto.FiveTuple) (DIP, error) {
+	vs, ok := s.vips[vip]
+	if !ok {
+		return DIP{}, fmt.Errorf("dataplane: unknown VIP %v", vip)
+	}
+	if _, ok := vs.pools[ver]; !ok {
+		return DIP{}, fmt.Errorf("dataplane: VIP %v has no pool version %d", vip, ver)
+	}
+	return s.selectDIP(vs, ver, s.KeyHash(t)), nil
+}

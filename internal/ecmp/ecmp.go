@@ -1,0 +1,257 @@
+// Package ecmp implements the hash-based member-selection schemes the
+// paper's baselines use: plain ECMP (hash mod N), resilient hashing (fixed
+// bucket table, Broadcom Smart-Hash-style), and Maglev consistent hashing
+// (the SLB baseline's VIPTable).
+//
+// All selectors map a connection key (already hashed to 64 bits) to one
+// member of a pool. What distinguishes them is how many existing
+// connections get remapped when the pool changes — the quantity that
+// drives the PCC violations in Figures 5, 16 and 17.
+package ecmp
+
+import (
+	"repro/internal/hashing"
+)
+
+// Selector maps a connection key to a pool member index.
+type Selector interface {
+	// Select returns the index (into the member list supplied at
+	// construction or update) chosen for key.
+	Select(key uint64) int
+	// Members returns the current member names.
+	Members() []string
+}
+
+// Plain is modulo-N ECMP over the live member list. A membership change
+// rebuilds the list; hash mod N remaps ~(1 - 1/N) of keys on a size change.
+type Plain struct {
+	members []string
+	seed    uint64
+}
+
+// NewPlain creates a plain ECMP selector.
+func NewPlain(members []string, seed uint64) *Plain {
+	if len(members) == 0 {
+		panic("ecmp: empty member list")
+	}
+	return &Plain{members: append([]string(nil), members...), seed: seed}
+}
+
+// Select implements Selector.
+func (p *Plain) Select(key uint64) int {
+	return int(hashing.HashUint64(p.seed, key) % uint64(len(p.members)))
+}
+
+// Members implements Selector.
+func (p *Plain) Members() []string { return append([]string(nil), p.members...) }
+
+// SetMembers replaces the member list.
+func (p *Plain) SetMembers(members []string) {
+	if len(members) == 0 {
+		panic("ecmp: empty member list")
+	}
+	p.members = append([]string(nil), members...)
+}
+
+// Resilient is resilient hashing: a fixed-size bucket table maps keys to
+// members. Removing a member reassigns only its buckets; adding a member
+// steals an even share of buckets. Keys in untouched buckets keep their
+// member, unlike plain ECMP.
+type Resilient struct {
+	members []string
+	buckets []int // bucket -> member index
+	seed    uint64
+}
+
+// NewResilient creates a resilient selector with bucketsPerMember * cap
+// buckets (a fixed table sized for up to maxMembers members).
+func NewResilient(members []string, maxMembers, bucketsPerMember int, seed uint64) *Resilient {
+	if len(members) == 0 {
+		panic("ecmp: empty member list")
+	}
+	if maxMembers < len(members) {
+		maxMembers = len(members)
+	}
+	n := maxMembers * bucketsPerMember
+	r := &Resilient{
+		members: append([]string(nil), members...),
+		buckets: make([]int, n),
+		seed:    seed,
+	}
+	for i := range r.buckets {
+		r.buckets[i] = i % len(members)
+	}
+	return r
+}
+
+// Select implements Selector.
+func (r *Resilient) Select(key uint64) int {
+	b := int(hashing.HashUint64(r.seed, key) % uint64(len(r.buckets)))
+	return r.buckets[b]
+}
+
+// Members implements Selector.
+func (r *Resilient) Members() []string { return append([]string(nil), r.members...) }
+
+// Remove deletes member i, redistributing only its buckets round-robin over
+// the survivors. Member indices of survivors are preserved.
+func (r *Resilient) Remove(i int) {
+	if i < 0 || i >= len(r.members) || len(r.members) == 1 {
+		panic("ecmp: bad Remove")
+	}
+	alive := make([]int, 0, len(r.members)-1)
+	for j := range r.members {
+		if j != i {
+			alive = append(alive, j)
+		}
+	}
+	k := 0
+	for b := range r.buckets {
+		if r.buckets[b] == i {
+			r.buckets[b] = alive[k%len(alive)]
+			k++
+		}
+	}
+	r.members[i] = "" // tombstone keeps indices stable
+}
+
+// Add registers a new member, stealing an even share of buckets from each
+// existing member. It returns the new member's index.
+func (r *Resilient) Add(name string) int {
+	idx := -1
+	for j, m := range r.members {
+		if m == "" {
+			idx = j
+			break
+		}
+	}
+	if idx == -1 {
+		idx = len(r.members)
+		r.members = append(r.members, "")
+	}
+	r.members[idx] = name
+	live := 0
+	for _, m := range r.members {
+		if m != "" {
+			live++
+		}
+	}
+	want := len(r.buckets) / live // buckets the new member should own
+	// Steal every (live)th bucket owned by others, deterministically.
+	stolen := 0
+	for b := 0; b < len(r.buckets) && stolen < want; b++ {
+		if r.buckets[b] != idx && b%live == idx%live {
+			r.buckets[b] = idx
+			stolen++
+		}
+	}
+	return idx
+}
+
+// Maglev is Google's consistent hash (Maglev §3.4): each member generates a
+// permutation of table slots from (offset, skip) hashes; members take turns
+// claiming their next preferred empty slot until the table fills. Lookups
+// are O(1) and membership changes disturb a near-minimal fraction of keys.
+type Maglev struct {
+	members []string
+	table   []int
+	m       uint64 // table size (prime)
+	seed    uint64
+}
+
+// SmallM and BigM are standard Maglev table sizes.
+const (
+	SmallM = 65537
+	BigM   = 655373
+)
+
+// NewMaglev builds a Maglev table of size m (must be prime and > #members).
+func NewMaglev(members []string, m uint64, seed uint64) *Maglev {
+	if len(members) == 0 {
+		panic("ecmp: empty member list")
+	}
+	if uint64(len(members)) >= m {
+		panic("ecmp: maglev table smaller than member count")
+	}
+	g := &Maglev{members: append([]string(nil), members...), m: m, seed: seed}
+	g.populate()
+	return g
+}
+
+// populate builds the lookup table from the current member list.
+func (g *Maglev) populate() {
+	n := len(g.members)
+	offset := make([]uint64, n)
+	skip := make([]uint64, n)
+	next := make([]uint64, n)
+	for i, name := range g.members {
+		b := []byte(name)
+		offset[i] = hashing.Hash64(g.seed^0x0ff5e7, b) % g.m
+		skip[i] = hashing.Hash64(g.seed^0x5c1b, b)%(g.m-1) + 1
+	}
+	table := make([]int, g.m)
+	for i := range table {
+		table[i] = -1
+	}
+	filled := uint64(0)
+	for filled < g.m {
+		for i := 0; i < n; i++ {
+			// Walk member i's permutation to its next empty slot.
+			for {
+				c := (offset[i] + next[i]*skip[i]) % g.m
+				next[i]++
+				if table[c] == -1 {
+					table[c] = i
+					filled++
+					break
+				}
+			}
+			if filled == g.m {
+				break
+			}
+		}
+	}
+	g.table = table
+}
+
+// Select implements Selector.
+func (g *Maglev) Select(key uint64) int {
+	return g.table[hashing.HashUint64(g.seed, key)%g.m]
+}
+
+// Members implements Selector.
+func (g *Maglev) Members() []string { return append([]string(nil), g.members...) }
+
+// SetMembers rebuilds the table for a new member list. Member indices refer
+// to the new list.
+func (g *Maglev) SetMembers(members []string) {
+	if len(members) == 0 {
+		panic("ecmp: empty member list")
+	}
+	if uint64(len(members)) >= g.m {
+		panic("ecmp: maglev table smaller than member count")
+	}
+	g.members = append([]string(nil), members...)
+	g.populate()
+}
+
+// TableSize returns the lookup-table size M.
+func (g *Maglev) TableSize() uint64 { return g.m }
+
+// Disruption measures the fraction of probe keys whose selected *member
+// name* changes between two selectors — the driver of PCC violations when
+// connection state is lost.
+func Disruption(before, after Selector, probes int, seed uint64) float64 {
+	bm := before.Members()
+	am := after.Members()
+	changed := 0
+	for i := 0; i < probes; i++ {
+		key := hashing.HashUint64(seed, uint64(i))
+		b := bm[before.Select(key)]
+		a := am[after.Select(key)]
+		if a != b {
+			changed++
+		}
+	}
+	return float64(changed) / float64(probes)
+}

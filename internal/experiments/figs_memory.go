@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"repro/internal/dataplane"
+	"repro/internal/slb"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// clusterProvisioning computes the SRAM one SilkRoad ToR switch of the
+// cluster must provision (the Figure 12 model): ConnTable sized for the
+// p99-minute connection count at 90% occupancy, DIPPoolTable for the
+// active versions, plus the TransitTable.
+func clusterProvisioning(c *workload.Cluster) int {
+	// Active pool versions held concurrently: Backends churn the most.
+	versions := 8
+	if c.Type == workload.Backend {
+		versions = 64
+	}
+	poolEntries := c.VIPs * c.DIPsPerVIP * versions / 16 // most versions differ in a few DIPs; amortized rows
+	if poolEntries < c.VIPs*c.DIPsPerVIP {
+		poolEntries = c.VIPs * c.DIPsPerVIP
+	}
+	return dataplane.ProvisionedBytes(c.ActiveConnsPerToRP99, 16, 6, poolEntries, c.IPv6)
+}
+
+// Fig12 regenerates Figure 12: per-ToR SRAM a SilkRoad deployment consumes
+// in each cluster.
+func Fig12(seed int64) *Report {
+	fleet := workload.Fleet(seed)
+	r := &Report{ID: "fig12", Title: "SRAM usage of SilkRoad on ToR switches across clusters (MB)"}
+	r.Printf("%-10s %10s %10s %10s", "type", "median", "p90", "max")
+	fits := 0
+	for _, t := range []workload.ClusterType{workload.PoP, workload.Frontend, workload.Backend} {
+		var cdf stats.CDF
+		for i := range fleet {
+			if fleet[i].Type != t {
+				continue
+			}
+			mb := float64(clusterProvisioning(&fleet[i])) / (1 << 20)
+			cdf.Add(mb)
+			if mb <= 100 {
+				fits++
+			}
+		}
+		r.Printf("%-10s %10.1f %10.1f %10.1f", t.String(), cdf.Median(), cdf.Quantile(0.9), cdf.Max())
+	}
+	r.Printf("clusters fitting a 50-100 MB ASIC: %d/%d", fits, len(fleet))
+	r.Printf("paper: PoPs 14 MB median / 32 MB peak; Backends 15 MB median / 58 MB peak; Frontends < 2 MB")
+	return r
+}
+
+// Fig13 regenerates Figure 13: how many SLB servers one SilkRoad switch
+// replaces in each cluster, from peak throughput and connection counts.
+func Fig13(seed int64) *Report {
+	fleet := workload.Fleet(seed)
+	cap_ := slb.DefaultCapacity()
+	r := &Report{ID: "fig13", Title: "Number of SLBs replaced per SilkRoad switch across clusters"}
+	r.Printf("%-10s %10s %10s %10s", "type", "median", "p90", "max")
+	const (
+		silkroadConns = 10_000_000 // one SilkRoad holds 10M connections
+		silkroadBps   = 6.4e12
+		silkroadPPS   = 10e9
+	)
+	for _, t := range []workload.ClusterType{workload.PoP, workload.Frontend, workload.Backend} {
+		var cdf stats.CDF
+		for i := range fleet {
+			c := &fleet[i]
+			if c.Type != t {
+				continue
+			}
+			slbs := cap_.ServersNeeded(c.PeakPPS, c.PeakBps, c.TotalConns)
+			silkroads := 1
+			if n := (c.TotalConns + silkroadConns - 1) / silkroadConns; n > silkroads {
+				silkroads = n
+			}
+			if n := int(c.PeakBps/silkroadBps) + 1; n > silkroads {
+				silkroads = n
+			}
+			if n := int(c.PeakPPS/silkroadPPS) + 1; n > silkroads {
+				silkroads = n
+			}
+			cdf.Add(float64(slbs) / float64(silkroads))
+		}
+		r.Printf("%-10s %10.1f %10.1f %10.1f", t.String(), cdf.Median(), cdf.Quantile(0.9), cdf.Max())
+	}
+	r.Printf("paper: PoPs 2-3x, Frontends ~11x median, Backends 3x median up to 277x peak")
+	return r
+}
+
+// Fig14 regenerates Figure 14: ConnTable memory saved by replacing full
+// keys with digests, and DIPs with pool versions, per cluster.
+func Fig14(seed int64) *Report {
+	fleet := workload.Fleet(seed)
+	r := &Report{ID: "fig14", Title: "ConnTable memory saving from digests and versions (percent vs naive layout)"}
+	r.Printf("%-10s %16s %16s", "type", "digest only", "digest+version")
+	for _, t := range []workload.ClusterType{workload.PoP, workload.Frontend, workload.Backend} {
+		var dOnly, dVer stats.CDF
+		for i := range fleet {
+			c := &fleet[i]
+			if c.Type != t {
+				continue
+			}
+			n := c.ActiveConnsPerToRP99
+			naive := dataplane.LayoutNaive(c.IPv6).TableBytes(n)
+			digest := dataplane.LayoutDigestOnly(16, c.IPv6).TableBytes(n)
+			ver := dataplane.LayoutDigestVersion(16, 6).TableBytes(n)
+			dOnly.Add(100 * (1 - float64(digest)/float64(naive)))
+			dVer.Add(100 * (1 - float64(ver)/float64(naive)))
+		}
+		r.Printf("%-10s %15.1f%% %15.1f%%", t.String(), dOnly.Median(), dVer.Median())
+	}
+	r.Printf("paper: all clusters save > 40%%; PoPs ~85%% with digest+version; Backends 60-95%%")
+	return r
+}

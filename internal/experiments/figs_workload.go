@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig2 regenerates Figure 2: the distribution across clusters of DIP pool
+// updates per minute, for the median and 99th-percentile minute of a
+// simulated month.
+func Fig2(scale float64, seed int64) *Report {
+	fleet := workload.Fleet(seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	minutes := int(43200 * scale)
+	if minutes < 1440 {
+		minutes = 1440
+	}
+	perType := map[workload.ClusterType][2]*stats.CDF{}
+	for _, t := range []workload.ClusterType{workload.PoP, workload.Frontend, workload.Backend} {
+		perType[t] = [2]*stats.CDF{{}, {}}
+	}
+	var allMed, allP99 stats.CDF
+	for i := range fleet {
+		c := &fleet[i]
+		series := c.MinuteUpdateSeries(rng, minutes)
+		var cdf stats.CDF
+		for _, v := range series {
+			cdf.Add(float64(v))
+		}
+		med, p99 := cdf.Median(), cdf.P99()
+		perType[c.Type][0].Add(med)
+		perType[c.Type][1].Add(p99)
+		allMed.Add(med)
+		allP99.Add(p99)
+	}
+	r := &Report{ID: "fig2", Title: "Y% of clusters with more than X updates/min (median and p99 minute of a month)"}
+	r.Printf("%-28s %8s %8s %8s %8s", "series", ">1/min", ">10/min", ">50/min", ">100/min")
+	row := func(name string, c *stats.CDF) {
+		r.Printf("%-28s %7.0f%% %7.0f%% %7.0f%% %7.0f%%",
+			name, 100*c.FractionAbove(1), 100*c.FractionAbove(10),
+			100*c.FractionAbove(50), 100*c.FractionAbove(100))
+	}
+	row("all clusters (p99 minute)", &allP99)
+	row("all clusters (median minute)", &allMed)
+	for _, t := range []workload.ClusterType{workload.PoP, workload.Frontend, workload.Backend} {
+		row(t.String()+" (p99 minute)", perType[t][1])
+	}
+	r.Printf("paper: 32%% of clusters >10 and 3%% >50 updates in the p99 minute; half of Backends >16")
+	return r
+}
+
+// Fig3 regenerates Figure 3: the distribution of root causes behind DIP
+// additions and removals over a month of events.
+func Fig3(scale float64, seed int64) *Report {
+	rng := rand.New(rand.NewSource(seed + 2))
+	n := int(200000 * scale)
+	if n < 20000 {
+		n = 20000
+	}
+	counter := stats.NewCounter()
+	// Fleet-wide mix: most update events come from Backends (they both
+	// dominate the fleet and update most often).
+	for i := 0; i < n; i++ {
+		t := workload.Backend
+		if rng.Float64() < 0.09 { // small share of events from PoPs/Frontends
+			if rng.Intn(2) == 0 {
+				t = workload.PoP
+			} else {
+				t = workload.Frontend
+			}
+		}
+		counter.Inc(workload.SampleCause(rng, t).String(), 1)
+	}
+	r := &Report{ID: "fig3", Title: "Distribution of root causes for DIP additions and removals (one month)"}
+	for _, label := range counter.Labels() {
+		r.Printf("%-14s %6.1f%%", label, 100*counter.Fraction(label))
+	}
+	r.Printf("paper: 82.7%% of additions/removals come from VIP service upgrades in Backends")
+	return r
+}
+
+// Fig4 regenerates Figure 4: the CDF of DIP downtime (reboot to back
+// alive) by root cause.
+func Fig4(scale float64, seed int64) *Report {
+	rng := rand.New(rand.NewSource(seed + 3))
+	n := int(50000 * scale)
+	if n < 5000 {
+		n = 5000
+	}
+	r := &Report{ID: "fig4", Title: "DIP downtime duration by root cause (minutes)"}
+	r.Printf("%-14s %10s %10s %10s", "cause", "median", "p90", "p99")
+	for _, c := range []workload.Cause{workload.Upgrade, workload.Testing, workload.Failure, workload.Preempting} {
+		var cdf stats.CDF
+		for i := 0; i < n; i++ {
+			cdf.Add(workload.SampleDowntime(rng, c).Minutes())
+		}
+		r.Printf("%-14s %10.1f %10.1f %10.1f", c.String(), cdf.Median(), cdf.Quantile(0.9), cdf.P99())
+	}
+	r.Printf("%-14s %10s", workload.Provisioning.String(), "no downtime")
+	r.Printf("paper: upgrades are down 3 min in the median, 100 min at p99")
+	return r
+}
+
+// Fig6 regenerates Figure 6: active connections per ToR switch across
+// clusters (median and p99 minute snapshots).
+func Fig6(seed int64) *Report {
+	fleet := workload.Fleet(seed)
+	r := &Report{ID: "fig6", Title: "Active connections per ToR switch across clusters (millions)"}
+	r.Printf("%-10s %10s %10s %10s %10s", "type", "med(med)", "med(p99)", "max(p99)", "clusters")
+	for _, t := range []workload.ClusterType{workload.PoP, workload.Frontend, workload.Backend} {
+		var med, p99 stats.CDF
+		n := 0
+		for _, c := range fleet {
+			if c.Type != t {
+				continue
+			}
+			med.Add(float64(c.ActiveConnsPerToRMedian) / 1e6)
+			p99.Add(float64(c.ActiveConnsPerToRP99) / 1e6)
+			n++
+		}
+		r.Printf("%-10s %10.2f %10.2f %10.2f %10d", t.String(), med.Median(), p99.Median(), p99.Max(), n)
+	}
+	r.Printf("paper: the most loaded PoPs and Backends carry ~10M-15M connections per ToR; Frontends far fewer")
+	return r
+}
+
+// Fig8 regenerates Figure 8: the distribution of new connections per VIP
+// per minute.
+func Fig8(scale float64, seed int64) *Report {
+	fleet := workload.Fleet(seed)
+	rng := rand.New(rand.NewSource(seed + 4))
+	var cdf stats.CDF
+	perVIP := int(100 * scale)
+	if perVIP < 20 {
+		perVIP = 20
+	}
+	for i := range fleet {
+		for v := 0; v < perVIP; v++ {
+			cdf.Add(fleet[i].SampleNewConnsPerVIPMinute(rng))
+		}
+	}
+	r := &Report{ID: "fig8", Title: "New connections per VIP per minute"}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		r.Printf("p%-5.3g %14.0f conns/min", q*100, cdf.Quantile(q))
+	}
+	r.Printf("paper: a VIP can see more than 50M new connections in a minute")
+	return r
+}
+
+// scaledDuration converts a base virtual duration by the scale knob with a
+// floor, shared by the simulation figures.
+func scaledDuration(base simtime.Duration, scale float64, floor simtime.Duration) simtime.Duration {
+	d := simtime.Duration(float64(base) * scale)
+	if d < floor {
+		d = floor
+	}
+	return d
+}

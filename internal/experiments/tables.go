@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"repro/internal/asic"
+	"repro/internal/cuckoo"
+	"repro/internal/dataplane"
+	"repro/internal/simtime"
+)
+
+// Table1 renders the ASIC generation catalogue (Table 1 of the paper):
+// SRAM grew about five times across four years, reaching the 50-100 MB
+// that makes switch-resident connection state feasible.
+func Table1() *Report {
+	r := &Report{ID: "table1", Title: "Trend of SRAM size and switching capacity in ASICs"}
+	r.Printf("%-40s %-6s %-10s %s", "ASIC generation", "Year", "Tbps", "SRAM (MB)")
+	for _, g := range asic.Generations {
+		r.Printf("%-40s %-6d %-10.1f %d", g.Name, g.Year, g.CapacityTbps, g.SRAMMB)
+	}
+	first := asic.Generations[0]
+	last := asic.Generations[len(asic.Generations)-1]
+	r.Printf("growth %d->%d: SRAM x%.1f, capacity x%.1f",
+		first.Year, last.Year,
+		float64(last.SRAMMB)/float64(first.SRAMMB),
+		last.CapacityTbps/first.CapacityTbps)
+	return r
+}
+
+// Table2Data is the structured result of the Table 2 experiment.
+type Table2Data struct {
+	Usage asic.RelativeUsage
+}
+
+// table2Build allocates a 1M-connection SilkRoad on a chip and returns the
+// additional resource usage relative to the baseline switch.p4.
+func table2Build() (*dataplane.Switch, Table2Data, error) {
+	cfg := dataplane.DefaultConfig(1_000_000)
+	sw, err := dataplane.New(cfg)
+	if err != nil {
+		return nil, Table2Data{}, err
+	}
+	used := sw.Chip().Used()
+	return sw, Table2Data{Usage: used.RelativeTo(asic.BaselineSwitchP4)}, nil
+}
+
+// Table2 regenerates Table 2: the hardware resources SilkRoad adds on top
+// of the baseline switch.p4 when provisioned for 1M connections with
+// 16-bit digests and 6-bit versions.
+func Table2() (*Report, error) {
+	sw, data, err := table2Build()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "table2", Title: "Additional H/W resources used by SilkRoad (1M connections), normalized by baseline switch.p4"}
+	r.Printf("%s", data.Usage.String())
+	r.Printf("paper reports: crossbar 37.53%%, SRAM 27.92%%, TCAM 0%%, VLIW 18.89%%, hash 34.17%%, sALU 44.44%%, PHV 0.98%%")
+	mem := sw.Memory()
+	r.Printf("ConnTable footprint: %.1f MB for %d-entry capacity (28-bit packed entries)",
+		float64(mem.ConnTableBytes)/(1<<20), sw.ConnTable().Capacity())
+	// Feasibility check the paper makes in §5.2: 10M connections fit.
+	big := dataplane.DefaultConfig(10_000_000)
+	if sw10, err := dataplane.New(big); err == nil {
+		r.Printf("10M-connection ConnTable: %.1f MB (fits 50-100 MB on-chip SRAM)",
+			float64(sw10.Memory().ConnTableBytes)/(1<<20))
+	}
+	return r, nil
+}
+
+// Sec52 reproduces the §5.2 prototype microbenchmarks at simulation scale:
+// meter marking accuracy, the control plane's sustained insertion rate,
+// digest false-positive rates at 16 vs 24 bits, and the §6.1 power/cost
+// comparison.
+func Sec52(scale float64, seed int64) (*Report, error) {
+	r := &Report{ID: "sec52", Title: "Prototype performance and overhead"}
+
+	// Meter accuracy: offer 2x the committed rate; green share must be
+	// within 1% of CIR (the paper: <1% average error).
+	acc := meterAccuracy()
+	r.Printf("meter accuracy at 2x offered load: committed-rate error = %+.3f%% (paper: <1%%)", acc*100)
+
+	// Insertion pipeline: the modeled CPU sustains its configured 200K/s.
+	rate, delay := insertionThroughput(scale)
+	r.Printf("ConnTable insertion throughput: %.0f entries/s (configured 200K/s), mean arrival-to-install %.2f ms",
+		rate, float64(delay)/float64(simtime.Millisecond))
+
+	// Digest false positives: probability a foreign connection falsely
+	// hits, at the paper's two digest widths.
+	fp16 := digestFPRate(16, seed)
+	fp24 := digestFPRate(24, seed)
+	r.Printf("digest false-positive rate: %.5f%% @16-bit, %.6f%% @24-bit (paper: 0.01%% and 0.00004%%)",
+		fp16*100, fp24*100)
+
+	// §6.1 cost model: SilkRoad at 6.4 Tbps / ~10 Gpps vs SLBs at 12 Mpps.
+	const (
+		slbPPS, slbWatt, slbUSD = 12e6, 200.0, 3000.0
+		srPPS, srWatt, srUSD    = 10e9, 300.0, 10000.0
+	)
+	slbs := srPPS / slbPPS
+	r.Printf("equal-throughput cost: 1 SilkRoad (~10 Gpps) = %.0f SLBs; power 1/%.0f, capital 1/%.0f",
+		slbs, slbs*slbWatt/srWatt, slbs*slbUSD/srUSD)
+	return r, nil
+}
+
+// meterAccuracy returns the relative error of the metered green rate
+// against the committed rate under 2x offered load.
+func meterAccuracy() float64 {
+	cir := 625e6 // 5 Gbps in B/s
+	m := newMeter(cir)
+	now := simtime.Time(0)
+	green, offered := 0.0, 0.0
+	const pkt = 1250.0
+	// 3 s of offered load so the one-off burst credit (CBS) amortizes.
+	for i := 0; i < 3_000_000; i++ {
+		if m.MarkGreen(now, int(pkt)) {
+			green += pkt
+		}
+		offered += pkt
+		now = now.Add(simtime.Microsecond) // 10 Gbps offered
+	}
+	rate := green / now.Sub(0).Seconds()
+	return (rate - cir) / cir
+}
+
+// digestFPRate measures the probability that a never-inserted connection
+// falsely hits a ConnTable populated to the paper's density.
+func digestFPRate(bits int, seed int64) float64 {
+	cfg := cuckoo.Config{
+		Stages: 4, BucketsPerStage: 4096, Ways: 4,
+		DigestBits: bits, ValueBits: 6, OverheadBits: 6, Seed: uint64(seed) + 7,
+	}
+	tab := cuckoo.New(cfg)
+	key := func(i uint64) uint64 { return i*0x9e3779b97f4a7c15 + 1 }
+	dig := func(k uint64) uint32 {
+		return uint32(k*0x2545f4914f6cdd1d>>(64-uint(bits))) & (1<<uint(bits) - 1)
+	}
+	n := tab.Capacity() * 8 / 10
+	for i := 0; i < n; i++ {
+		k := key(uint64(i))
+		tab.Insert(k, dig(k), uint32(i%64))
+	}
+	probes := 2_000_00
+	hits := 0
+	for i := 0; i < probes; i++ {
+		k := key(uint64(n + i))
+		if _, _, ok := tab.Lookup(k, dig(k)); ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(probes)
+}

@@ -1,0 +1,107 @@
+// Package hashing provides the deterministic hash primitives used throughout
+// the SilkRoad reproduction: a seeded 64-bit mixing hash, families of
+// pairwise-independent hash functions (one per pipeline stage, as in the
+// paper's multi-stage ConnTable), and connection digests.
+//
+// Switching ASICs expose generic hash units (CRC variants with configurable
+// polynomials) that functions like ECMP, LAG and exact-match addressing
+// share. We model that with a software hash of equivalent quality: a
+// murmur-style finalizer over FNV-style lane mixing, parameterized by a
+// 64-bit seed. Different seeds behave as independent functions, which is all
+// the cuckoo table, bloom filter, and ECMP need.
+package hashing
+
+import "encoding/binary"
+
+// mix64 is the splitmix64 finalizer; it is a bijection on uint64 with good
+// avalanche behaviour, so distinct seeds give effectively independent hashes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Hash64 hashes data with the given seed. It processes 8-byte lanes with
+// multiply-xor mixing and finalizes with splitmix64.
+func Hash64(seed uint64, data []byte) uint64 {
+	h := mix64(seed ^ 0x9e3779b97f4a7c15)
+	for len(data) >= 8 {
+		k := binary.LittleEndian.Uint64(data)
+		h = (h ^ mix64(k)) * 0x2545f4914f6cdd1d
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		var tail [8]byte
+		copy(tail[:], data)
+		k := binary.LittleEndian.Uint64(tail[:]) | uint64(len(data))<<56
+		h = (h ^ mix64(k)) * 0x2545f4914f6cdd1d
+	}
+	return mix64(h)
+}
+
+// Hash32 hashes data with the given seed, folded to 32 bits.
+func Hash32(seed uint64, data []byte) uint32 {
+	h := Hash64(seed, data)
+	return uint32(h) ^ uint32(h>>32)
+}
+
+// HashUint64 hashes a single 64-bit value with the given seed. It is used on
+// hot paths where the key is already a fixed-width integer (e.g. a packed
+// 5-tuple hash), avoiding byte-slice traffic.
+func HashUint64(seed, x uint64) uint64 {
+	return mix64(mix64(seed^0x9e3779b97f4a7c15) ^ mix64(x))
+}
+
+// Family is an ordered set of independent hash functions. The ASIC model
+// assigns one member per physical stage so that an entry colliding in one
+// stage can be relocated to another stage where the two keys hash apart
+// (§4.2 of the paper).
+type Family struct {
+	seeds []uint64
+}
+
+// NewFamily derives n independent hash functions from a master seed.
+func NewFamily(n int, masterSeed uint64) *Family {
+	if n <= 0 {
+		panic("hashing: family size must be positive")
+	}
+	seeds := make([]uint64, n)
+	s := masterSeed
+	for i := range seeds {
+		s = mix64(s + 0x9e3779b97f4a7c15)
+		seeds[i] = s
+	}
+	return &Family{seeds: seeds}
+}
+
+// Size returns the number of functions in the family.
+func (f *Family) Size() int { return len(f.seeds) }
+
+// Hash applies function i to data.
+func (f *Family) Hash(i int, data []byte) uint64 {
+	return Hash64(f.seeds[i], data)
+}
+
+// HashUint64 applies function i to a fixed-width key.
+func (f *Family) HashUint64(i int, x uint64) uint64 {
+	return HashUint64(f.seeds[i], x)
+}
+
+// Seed exposes the seed of function i, letting callers derive further
+// sub-functions deterministically.
+func (f *Family) Seed(i int) uint64 { return f.seeds[i] }
+
+// Digest computes a b-bit connection digest (1..32 bits) of data, as stored
+// in ConnTable match fields instead of the full 5-tuple. Digests use a seed
+// disjoint from the stage-addressing family so that "same bucket" and "same
+// digest" are independent events, which is what keeps the false-positive
+// rate at (collisions per bucket) x 2^-b.
+func Digest(seedBits uint64, bits int, data []byte) uint32 {
+	if bits <= 0 || bits > 32 {
+		panic("hashing: digest width must be in 1..32")
+	}
+	return uint32(Hash64(seedBits^0xd1ce5fca11ab1e00, data) >> (64 - uint(bits)))
+}

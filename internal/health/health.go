@@ -1,0 +1,195 @@
+// Package health implements §7's DIP failure handling: a BFD-style health
+// checker running on the switch, probing every DIP on a fixed interval and
+// driving pool membership through the control plane — remove a DIP after a
+// run of missed probes, re-add it after a run of successes.
+//
+// The paper sizes this at 10K DIPs probed every 10 seconds with 100-byte
+// packets, about 800 Kbps of probe bandwidth; Metrics reproduces that
+// arithmetic. The probe transport is injected so the simulator supplies
+// virtual-time liveness and cmd/silkroadd could supply real sockets.
+package health
+
+import (
+	"fmt"
+
+	"repro/internal/dataplane"
+	"repro/internal/simtime"
+)
+
+// PoolManager is the slice of the control plane the checker drives.
+type PoolManager interface {
+	AddDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error
+	RemoveDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error
+}
+
+// ProbeFunc reports whether dip answered a probe sent at now.
+type ProbeFunc func(now simtime.Time, dip dataplane.DIP) bool
+
+// Config parameterizes the checker.
+type Config struct {
+	Interval         simtime.Duration // probe period per DIP (paper: 10 s)
+	FailThreshold    int              // consecutive misses before removal (BFD-style multiplier)
+	RecoverThreshold int              // consecutive successes before re-adding
+	ProbeBytes       int              // probe packet size (paper: 100 B)
+}
+
+// DefaultConfig returns the §7 operating point.
+func DefaultConfig() Config {
+	return Config{
+		Interval:         simtime.Duration(10 * simtime.Second),
+		FailThreshold:    3,
+		RecoverThreshold: 2,
+		ProbeBytes:       100,
+	}
+}
+
+// Metrics counts checker activity.
+type Metrics struct {
+	ProbesSent  uint64
+	ProbeBytes  uint64
+	Failovers   uint64 // DIPs removed for health
+	Recoveries  uint64 // DIPs re-added after recovery
+	ManagerErrs uint64
+}
+
+// BandwidthBps returns the probe bandwidth for n targets under cfg — the
+// paper's "800 Kbps for 10K DIPs every 10 s" figure.
+func (c Config) BandwidthBps(n int) float64 {
+	return float64(n) * float64(c.ProbeBytes) * 8 / c.Interval.Seconds()
+}
+
+type targetKey struct {
+	vip dataplane.VIP
+	dip dataplane.DIP
+}
+
+type targetState struct {
+	misses    int
+	successes int
+	down      bool
+}
+
+// Checker probes watched (VIP, DIP) pairs and drives pool membership.
+type Checker struct {
+	cfg     Config
+	mgr     PoolManager
+	probe   ProbeFunc
+	targets map[targetKey]*targetState
+	nextRun simtime.Time
+	started bool
+	metrics Metrics
+}
+
+// New builds a checker.
+func New(cfg Config, mgr PoolManager, probe ProbeFunc) *Checker {
+	if cfg.Interval <= 0 || cfg.FailThreshold <= 0 || cfg.RecoverThreshold <= 0 {
+		panic("health: degenerate config")
+	}
+	if mgr == nil || probe == nil {
+		panic("health: manager and probe are required")
+	}
+	return &Checker{
+		cfg:     cfg,
+		mgr:     mgr,
+		probe:   probe,
+		targets: make(map[targetKey]*targetState),
+	}
+}
+
+// Metrics returns a copy of the counters.
+func (c *Checker) Metrics() Metrics { return c.metrics }
+
+// Watch starts probing dip on behalf of vip.
+func (c *Checker) Watch(vip dataplane.VIP, dip dataplane.DIP) {
+	k := targetKey{vip, dip}
+	if _, dup := c.targets[k]; !dup {
+		c.targets[k] = &targetState{}
+	}
+}
+
+// Unwatch stops probing dip for vip.
+func (c *Checker) Unwatch(vip dataplane.VIP, dip dataplane.DIP) {
+	delete(c.targets, targetKey{vip, dip})
+}
+
+// Watching returns the number of probe targets.
+func (c *Checker) Watching() int { return len(c.targets) }
+
+// Down reports whether the checker currently considers dip failed.
+func (c *Checker) Down(vip dataplane.VIP, dip dataplane.DIP) bool {
+	st, ok := c.targets[targetKey{vip, dip}]
+	return ok && st.down
+}
+
+// NextEventTime returns when the next probe round is due.
+func (c *Checker) NextEventTime() (simtime.Time, bool) {
+	if len(c.targets) == 0 {
+		return 0, false
+	}
+	return c.nextRun, true
+}
+
+// Advance runs every probe round due at or before now.
+func (c *Checker) Advance(now simtime.Time) {
+	if len(c.targets) == 0 {
+		return
+	}
+	if !c.started {
+		c.started = true
+		c.nextRun = now
+	}
+	for !c.nextRun.After(now) {
+		c.runRound(c.nextRun)
+		c.nextRun = c.nextRun.Add(c.cfg.Interval)
+	}
+}
+
+// runRound probes every target once.
+func (c *Checker) runRound(now simtime.Time) {
+	for k, st := range c.targets {
+		c.metrics.ProbesSent++
+		c.metrics.ProbeBytes += uint64(c.cfg.ProbeBytes)
+		if c.probe(now, k.dip) {
+			st.misses = 0
+			if st.down {
+				st.successes++
+				if st.successes >= c.cfg.RecoverThreshold {
+					if err := c.mgr.AddDIP(now, k.vip, k.dip); err != nil {
+						c.metrics.ManagerErrs++
+					} else {
+						st.down = false
+						st.successes = 0
+						c.metrics.Recoveries++
+					}
+				}
+			}
+			continue
+		}
+		st.successes = 0
+		if st.down {
+			continue
+		}
+		st.misses++
+		if st.misses >= c.cfg.FailThreshold {
+			if err := c.mgr.RemoveDIP(now, k.vip, k.dip); err != nil {
+				c.metrics.ManagerErrs++
+			} else {
+				st.down = true
+				st.misses = 0
+				c.metrics.Failovers++
+			}
+		}
+	}
+}
+
+// String summarizes checker state.
+func (c *Checker) String() string {
+	down := 0
+	for _, st := range c.targets {
+		if st.down {
+			down++
+		}
+	}
+	return fmt.Sprintf("health: %d targets, %d down, %.0f bps probe bandwidth",
+		len(c.targets), down, c.cfg.BandwidthBps(len(c.targets)))
+}

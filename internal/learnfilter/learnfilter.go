@@ -1,0 +1,146 @@
+// Package learnfilter models the connection-learning filter of a switching
+// ASIC (§4.1, §4.3 of the paper).
+//
+// Entry insertion into an exact-match table is the job of the switch CPU,
+// but the trigger is a hardware event: the first packet of a connection
+// missing ConnTable. The learning filter batches those events, removes
+// duplicates (subsequent packets of the same still-pending connection), and
+// notifies the CPU either when the filter fills or when a configurable
+// timeout (0.5 ms – 5 ms in the paper's experiments) elapses after the
+// first buffered event. The window between a connection's arrival and its
+// installation — the "pending" window — is precisely what creates the PCC
+// hazard SilkRoad's TransitTable closes.
+package learnfilter
+
+import (
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+// Event is one learn notification: a new connection, the DIP-pool version
+// its first packet used, and when it arrived.
+type Event struct {
+	Tuple   netproto.FiveTuple
+	KeyHash uint64
+	Digest  uint32
+	VIPID   uint32
+	Version uint32
+	At      simtime.Time
+}
+
+// Filter batches learn events.
+type Filter struct {
+	capacity int
+	timeout  simtime.Duration
+
+	pending map[uint64]int // keyHash -> index in batch
+	batch   []Event
+	first   simtime.Time // arrival of the oldest buffered event
+
+	// metrics
+	Offered    uint64 // events offered
+	Duplicates uint64 // suppressed duplicates
+	Flushes    uint64
+	FullFlush  uint64 // flushes triggered by capacity rather than timeout
+}
+
+// New creates a filter holding up to capacity events, flushing after
+// timeout from the first buffered event.
+func New(capacity int, timeout simtime.Duration) *Filter {
+	if capacity <= 0 {
+		panic("learnfilter: capacity must be positive")
+	}
+	if timeout <= 0 {
+		panic("learnfilter: timeout must be positive")
+	}
+	return &Filter{
+		capacity: capacity,
+		timeout:  timeout,
+		pending:  make(map[uint64]int),
+	}
+}
+
+// Offer buffers a learn event. Duplicate events (same key hash while still
+// buffered) are suppressed, mirroring the hardware filter. It returns true
+// if the event was newly buffered.
+func (f *Filter) Offer(ev Event) bool {
+	f.Offered++
+	if _, dup := f.pending[ev.KeyHash]; dup {
+		f.Duplicates++
+		return false
+	}
+	if len(f.batch) == 0 {
+		f.first = ev.At
+	}
+	f.pending[ev.KeyHash] = len(f.batch)
+	f.batch = append(f.batch, ev)
+	return true
+}
+
+// Len returns the number of buffered events.
+func (f *Filter) Len() int { return len(f.batch) }
+
+// Full reports whether the filter has reached capacity.
+func (f *Filter) Full() bool { return len(f.batch) >= f.capacity }
+
+// NextFlush returns the time at which the current batch should be
+// delivered to the CPU, and whether a batch is buffered at all. A full
+// filter flushes immediately (returns the first event's own time).
+func (f *Filter) NextFlush() (simtime.Time, bool) {
+	if len(f.batch) == 0 {
+		return 0, false
+	}
+	if f.Full() {
+		return f.first, true
+	}
+	return f.first.Add(f.timeout), true
+}
+
+// Drain hands the buffered batch to the CPU and resets the filter. The
+// returned slice is owned by the caller.
+func (f *Filter) Drain() []Event {
+	if len(f.batch) == 0 {
+		return nil
+	}
+	out := f.batch
+	f.batch = nil
+	f.pending = make(map[uint64]int, f.capacity)
+	f.Flushes++
+	if len(out) >= f.capacity {
+		f.FullFlush++
+	}
+	return out
+}
+
+// Contains reports whether a connection is currently buffered (i.e. is
+// pending in the filter, not yet handed to the CPU).
+func (f *Filter) Contains(keyHash uint64) bool {
+	_, ok := f.pending[keyHash]
+	return ok
+}
+
+// Get returns the buffered event for keyHash, if one is buffered.
+func (f *Filter) Get(keyHash uint64) (Event, bool) {
+	i, ok := f.pending[keyHash]
+	if !ok {
+		return Event{}, false
+	}
+	return f.batch[i], true
+}
+
+// OldestAt returns the arrival time of the oldest buffered event, and
+// whether any event is buffered. The control plane uses this watermark to
+// decide when every connection that arrived before an update request has
+// left the hardware filter.
+func (f *Filter) OldestAt() (simtime.Time, bool) {
+	if len(f.batch) == 0 {
+		return 0, false
+	}
+	return f.first, true
+}
+
+// Capacity returns the configured batch capacity.
+func (f *Filter) Capacity() int { return f.capacity }
+
+// Timeout returns the configured flush timeout.
+func (f *Filter) Timeout() simtime.Duration { return f.timeout }

@@ -1,0 +1,160 @@
+package learnfilter
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func ev(key uint64, at simtime.Time) Event {
+	return Event{KeyHash: key, Digest: uint32(key), At: at}
+}
+
+func TestOfferAndDedup(t *testing.T) {
+	f := New(8, simtime.Duration(simtime.Millisecond))
+	if !f.Offer(ev(1, 0)) {
+		t.Fatal("first offer rejected")
+	}
+	if f.Offer(ev(1, 10)) {
+		t.Fatal("duplicate not suppressed")
+	}
+	if !f.Offer(ev(2, 20)) {
+		t.Fatal("distinct key rejected")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Duplicates != 1 || f.Offered != 3 {
+		t.Fatalf("metrics: dup=%d offered=%d", f.Duplicates, f.Offered)
+	}
+	if !f.Contains(1) || f.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestTimeoutFlush(t *testing.T) {
+	f := New(100, simtime.Duration(simtime.Millisecond))
+	if _, ok := f.NextFlush(); ok {
+		t.Fatal("empty filter has a flush time")
+	}
+	f.Offer(ev(1, simtime.Time(5*simtime.Microsecond)))
+	f.Offer(ev(2, simtime.Time(500*simtime.Microsecond)))
+	at, ok := f.NextFlush()
+	if !ok {
+		t.Fatal("no flush scheduled")
+	}
+	// Flush is timed from the FIRST buffered event.
+	want := simtime.Time(5 * simtime.Microsecond).Add(simtime.Duration(simtime.Millisecond))
+	if at != want {
+		t.Fatalf("NextFlush = %v, want %v", at, want)
+	}
+}
+
+func TestFullTriggersImmediateFlush(t *testing.T) {
+	f := New(3, simtime.Duration(simtime.Millisecond))
+	for i := uint64(0); i < 3; i++ {
+		f.Offer(ev(i, simtime.Time(i)))
+	}
+	if !f.Full() {
+		t.Fatal("filter should be full")
+	}
+	at, ok := f.NextFlush()
+	if !ok || at != 0 {
+		t.Fatalf("full filter NextFlush = (%v,%v), want immediate", at, ok)
+	}
+}
+
+func TestDrainResets(t *testing.T) {
+	f := New(4, simtime.Duration(simtime.Millisecond))
+	f.Offer(ev(1, 0))
+	f.Offer(ev(2, 0))
+	batch := f.Drain()
+	if len(batch) != 2 {
+		t.Fatalf("Drain returned %d events", len(batch))
+	}
+	if batch[0].KeyHash != 1 || batch[1].KeyHash != 2 {
+		t.Fatalf("batch order wrong: %+v", batch)
+	}
+	if f.Len() != 0 || f.Contains(1) {
+		t.Fatal("Drain did not reset")
+	}
+	if f.Flushes != 1 {
+		t.Fatalf("Flushes = %d", f.Flushes)
+	}
+	// Same key can be learned again after drain (e.g. entry later deleted).
+	if !f.Offer(ev(1, 100)) {
+		t.Fatal("re-offer after drain rejected")
+	}
+	if f.Drain() == nil {
+		t.Fatal("second drain empty")
+	}
+	if f.Drain() != nil {
+		t.Fatal("drain of empty filter should be nil")
+	}
+}
+
+func TestFullFlushCounter(t *testing.T) {
+	f := New(2, simtime.Duration(simtime.Millisecond))
+	f.Offer(ev(1, 0))
+	f.Offer(ev(2, 0))
+	f.Drain()
+	f.Offer(ev(3, 0))
+	f.Drain()
+	if f.FullFlush != 1 || f.Flushes != 2 {
+		t.Fatalf("FullFlush=%d Flushes=%d", f.FullFlush, f.Flushes)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f := New(7, simtime.Duration(2*simtime.Millisecond))
+	if f.Capacity() != 7 || f.Timeout() != simtime.Duration(2*simtime.Millisecond) {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 1) },
+		func() { New(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad New did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPendingWindowModel reproduces the §4.3 arithmetic: at a steady 1M new
+// connections/minute, a 500us learning window always holds ~8 pending
+// connections, so there is never an empty instant to apply an update.
+func TestPendingWindowModel(t *testing.T) {
+	f := New(2048, simtime.Duration(500*simtime.Microsecond))
+	rate := 1_000_000.0 / 60.0 // conns per second
+	interval := simtime.Duration(float64(simtime.Second) / rate)
+	now := simtime.Time(0)
+	key := uint64(0)
+	// Drive until just before the first flush and count buffered events.
+	flushAt := simtime.Time(0).Add(simtime.Duration(500 * simtime.Microsecond))
+	for now.Before(flushAt) {
+		f.Offer(ev(key, now))
+		key++
+		now = now.Add(interval)
+	}
+	if f.Len() < 7 || f.Len() > 10 {
+		t.Fatalf("pending connections in 500us window = %d, want ~8", f.Len())
+	}
+}
+
+func BenchmarkOfferDrain(b *testing.B) {
+	f := New(2048, simtime.Duration(simtime.Millisecond))
+	for i := 0; i < b.N; i++ {
+		f.Offer(ev(uint64(i), simtime.Time(i)))
+		if f.Full() {
+			f.Drain()
+		}
+	}
+}

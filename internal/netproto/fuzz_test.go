@@ -1,0 +1,70 @@
+package netproto
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecode hammers the packet decoder: it must never panic, and any
+// packet it accepts must survive a re-marshal/re-decode round trip of its
+// tuple.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid v4/v6 TCP/UDP packets plus truncations.
+	p4, _ := (&Packet{Tuple: tcpTuple4(), TCPFlags: FlagSYN, Payload: []byte("seed")}).Marshal(nil)
+	p6, _ := (&Packet{Tuple: tcpTuple6(), TCPFlags: FlagACK}).Marshal(nil)
+	udp := tcpTuple4()
+	udp.Proto = ProtoUDP
+	pu, _ := (&Packet{Tuple: udp, Payload: []byte("u")}).Marshal(nil)
+	f.Add(p4)
+	f.Add(p6)
+	f.Add(pu)
+	f.Add(p4[:10])
+	f.Add([]byte{})
+	f.Add([]byte{0x60})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		if err := Decode(data, &p); err != nil {
+			return
+		}
+		if !p.Tuple.IsValid() {
+			// Decoders may accept packets with zero addresses; that's
+			// fine as long as nothing panicked.
+			return
+		}
+		raw, err := p.Marshal(nil)
+		if err != nil {
+			t.Fatalf("accepted packet failed to re-marshal: %v", err)
+		}
+		var q Packet
+		if err := Decode(raw, &q); err != nil {
+			t.Fatalf("re-marshaled packet failed to decode: %v", err)
+		}
+		if q.Tuple != p.Tuple {
+			t.Fatalf("tuple changed across round trip: %v vs %v", q.Tuple, p.Tuple)
+		}
+	})
+}
+
+// FuzzDecapIPIP checks the decapsulator never panics and only accepts
+// protocol-4 IPv4 packets.
+func FuzzDecapIPIP(f *testing.F) {
+	inner, _ := (&Packet{Tuple: tcpTuple4(), TCPFlags: FlagSYN}).Marshal(nil)
+	enc, _ := EncapIPIP(nil, netip.MustParseAddr("1.1.1.1"), netip.MustParseAddr("2.2.2.2"), inner)
+	f.Add(enc)
+	f.Add(enc[:24])
+	f.Add(inner)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, src, dst, err := DecapIPIP(data)
+		if err != nil {
+			return
+		}
+		if !src.Is4() || !dst.Is4() {
+			t.Fatal("accepted decap with non-IPv4 outer addresses")
+		}
+		if len(got) > len(data) {
+			t.Fatal("inner longer than input")
+		}
+	})
+}

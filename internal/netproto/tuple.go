@@ -1,0 +1,110 @@
+// Package netproto implements the packet substrate: 5-tuples, IPv4/IPv6 and
+// TCP/UDP header encoding/decoding, and a lightweight packet representation
+// that the SilkRoad pipeline processes.
+//
+// The design follows the layering style of gopacket (each protocol is its
+// own decode/serialize unit, with an allocation-free fast path for the known
+// ether/IP/L4 stack), restricted to exactly the layers an L4 load balancer
+// touches.
+package netproto
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Proto is an IP protocol number.
+type Proto uint8
+
+// The protocols an L4 load balancer distinguishes.
+const (
+	ProtoTCP Proto = 6
+	ProtoUDP Proto = 17
+)
+
+// String returns the conventional protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// FiveTuple identifies a transport connection. It is comparable and usable
+// as a map key; control-plane shadow tables key on it directly.
+type FiveTuple struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// String renders the tuple as "src:port->dst:port/proto".
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s->%s/%s",
+		netip.AddrPortFrom(t.Src, t.SrcPort),
+		netip.AddrPortFrom(t.Dst, t.DstPort), t.Proto)
+}
+
+// IsValid reports whether both addresses are set and of the same family.
+func (t FiveTuple) IsValid() bool {
+	return t.Src.IsValid() && t.Dst.IsValid() && t.Src.Is4() == t.Dst.Is4()
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (t FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: t.Dst, Dst: t.Src, SrcPort: t.DstPort, DstPort: t.SrcPort, Proto: t.Proto}
+}
+
+// KeyBytes serializes the tuple into buf as the canonical ConnTable match
+// key (the "37 bytes for IPv6 / 13 bytes for IPv4" layout the paper sizes
+// SRAM by) and returns the filled prefix. buf must have capacity >= 37.
+//
+// Layout: src addr | dst addr | src port | dst port | proto, with 4-byte
+// addresses for IPv4 tuples and 16-byte addresses for IPv6.
+func (t FiveTuple) KeyBytes(buf []byte) []byte {
+	buf = buf[:0]
+	if t.Src.Is4() {
+		a := t.Src.As4()
+		b := t.Dst.As4()
+		buf = append(buf, a[:]...)
+		buf = append(buf, b[:]...)
+	} else {
+		a := t.Src.As16()
+		b := t.Dst.As16()
+		buf = append(buf, a[:]...)
+		buf = append(buf, b[:]...)
+	}
+	buf = append(buf,
+		byte(t.SrcPort>>8), byte(t.SrcPort),
+		byte(t.DstPort>>8), byte(t.DstPort),
+		byte(t.Proto))
+	return buf
+}
+
+// KeySize returns the match-key width in bytes: 13 for IPv4, 37 for IPv6.
+func (t FiveTuple) KeySize() int {
+	if t.Src.Is4() {
+		return 13
+	}
+	return 37
+}
+
+// VIPKey returns the (destination IP, destination port, proto) triple that
+// VIPTable matches on, encoded into buf.
+func (t FiveTuple) VIPKey(buf []byte) []byte {
+	buf = buf[:0]
+	if t.Dst.Is4() {
+		b := t.Dst.As4()
+		buf = append(buf, b[:]...)
+	} else {
+		b := t.Dst.As16()
+		buf = append(buf, b[:]...)
+	}
+	return append(buf, byte(t.DstPort>>8), byte(t.DstPort), byte(t.Proto))
+}

@@ -1,0 +1,200 @@
+// Package netwide implements §5.3 of the paper: network-wide deployment of
+// SilkRoad across a Clos topology. Every switch can announce every VIP, but
+// ConnTable SRAM is finite, so the operator assigns each VIP to one layer
+// (ToR, Aggregation, or Core); traffic for the VIP is ECMP-split across
+// that layer's switches, dividing its connection state among them.
+//
+// The adaptive VIP assignment is a bin-packing problem: minimize the
+// maximum SRAM utilization across switches subject to per-switch SRAM and
+// forwarding-capacity budgets. This package solves it with binary search
+// over the bottleneck utilization plus a first-fit-decreasing feasibility
+// check, and supports incremental deployment (only a subset of switches is
+// SilkRoad-enabled).
+package netwide
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Layer identifies a tier of the Clos fabric.
+type Layer int
+
+// Layers.
+const (
+	ToR Layer = iota
+	Agg
+	Core
+	numLayers
+)
+
+// String names the layer.
+func (l Layer) String() string {
+	switch l {
+	case ToR:
+		return "ToR"
+	case Agg:
+		return "Agg"
+	case Core:
+		return "Core"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// Topology describes the fabric: switch counts per layer and per-switch
+// budgets. Enabled[l] is the number of SilkRoad-capable switches in layer
+// l (incremental deployment: Enabled <= Count).
+type Topology struct {
+	Count    [3]int     // switches per layer
+	Enabled  [3]int     // SilkRoad-enabled switches per layer
+	SRAM     [3]int     // per-switch SRAM budget for load balancing, bytes
+	Capacity [3]float64 // per-switch forwarding budget for VIP traffic, bps
+}
+
+// Uniform builds a topology with all switches enabled.
+func Uniform(tors, aggs, cores, sramBytes int, capBps float64) Topology {
+	return Topology{
+		Count:    [3]int{tors, aggs, cores},
+		Enabled:  [3]int{tors, aggs, cores},
+		SRAM:     [3]int{sramBytes, sramBytes, sramBytes},
+		Capacity: [3]float64{capBps, capBps, capBps},
+	}
+}
+
+// VIPDemand is one VIP's resource demand: the SRAM its connections consume
+// and its traffic volume. When assigned to a layer, both divide evenly
+// over that layer's enabled switches (ECMP splitting).
+type VIPDemand struct {
+	Name       string
+	SRAMBytes  int
+	TrafficBps float64
+}
+
+// Assignment maps each VIP (by index into the demand slice) to a layer.
+type Assignment struct {
+	Layer       []Layer
+	MaxSRAMUtil float64 // bottleneck SRAM utilization achieved
+	MaxCapUtil  float64
+}
+
+// ErrInfeasible is returned when no assignment fits the budgets.
+var ErrInfeasible = errors.New("netwide: demands do not fit any layer assignment")
+
+// Assign computes a VIP-to-layer assignment minimizing the maximum SRAM
+// utilization across switches while respecting both SRAM and capacity
+// budgets on every layer.
+func Assign(topo Topology, vips []VIPDemand) (Assignment, error) {
+	for l := 0; l < int(numLayers); l++ {
+		if topo.Enabled[l] < 0 || topo.Enabled[l] > topo.Count[l] {
+			return Assignment{}, fmt.Errorf("netwide: layer %v has %d enabled of %d",
+				Layer(l), topo.Enabled[l], topo.Count[l])
+		}
+	}
+	// Binary search the bottleneck SRAM utilization u: is there an
+	// assignment where every layer's total SRAM load <= u * budget and
+	// capacity load <= budget?
+	lo, hi := 0.0, 1.0
+	feasible := func(u float64) ([]Layer, bool) { return pack(topo, vips, u) }
+	if _, ok := feasible(1.0); !ok {
+		return Assignment{}, ErrInfeasible
+	}
+	var best []Layer
+	for i := 0; i < 24; i++ {
+		mid := (lo + hi) / 2
+		if asg, ok := feasible(mid); ok {
+			best = asg
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if best == nil {
+		best, _ = feasible(1.0)
+	}
+	a := Assignment{Layer: best}
+	a.MaxSRAMUtil, a.MaxCapUtil = Utilization(topo, vips, best)
+	return a, nil
+}
+
+// pack runs first-fit-decreasing by SRAM demand: each VIP goes to the
+// enabled layer with the most remaining SRAM headroom under the cap.
+func pack(topo Topology, vips []VIPDemand, u float64) ([]Layer, bool) {
+	type layerState struct {
+		sramFree float64
+		capFree  float64
+		enabled  bool
+	}
+	var ls [3]layerState
+	for l := 0; l < 3; l++ {
+		if topo.Enabled[l] > 0 {
+			ls[l].enabled = true
+			ls[l].sramFree = u * float64(topo.SRAM[l]) * float64(topo.Enabled[l])
+			ls[l].capFree = topo.Capacity[l] * float64(topo.Enabled[l])
+		}
+	}
+	order := make([]int, len(vips))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return vips[order[a]].SRAMBytes > vips[order[b]].SRAMBytes
+	})
+	out := make([]Layer, len(vips))
+	for _, i := range order {
+		v := vips[i]
+		bestL, bestFree := -1, -1.0
+		for l := 0; l < 3; l++ {
+			if !ls[l].enabled {
+				continue
+			}
+			if ls[l].sramFree >= float64(v.SRAMBytes) && ls[l].capFree >= v.TrafficBps {
+				if ls[l].sramFree > bestFree {
+					bestFree = ls[l].sramFree
+					bestL = l
+				}
+			}
+		}
+		if bestL < 0 {
+			return nil, false
+		}
+		ls[bestL].sramFree -= float64(v.SRAMBytes)
+		ls[bestL].capFree -= v.TrafficBps
+		out[i] = Layer(bestL)
+	}
+	return out, true
+}
+
+// Utilization computes the per-switch bottleneck SRAM and capacity
+// utilization of an assignment.
+func Utilization(topo Topology, vips []VIPDemand, asg []Layer) (sramUtil, capUtil float64) {
+	var sram [3]float64
+	var cap_ [3]float64
+	for i, v := range vips {
+		l := asg[i]
+		sram[l] += float64(v.SRAMBytes)
+		cap_[l] += v.TrafficBps
+	}
+	for l := 0; l < 3; l++ {
+		if topo.Enabled[l] == 0 {
+			if sram[l] > 0 {
+				return 2, 2 // assigned to a disabled layer: over budget
+			}
+			continue
+		}
+		perSwitchSRAM := sram[l] / float64(topo.Enabled[l])
+		perSwitchCap := cap_[l] / float64(topo.Enabled[l])
+		if topo.SRAM[l] > 0 {
+			if u := perSwitchSRAM / float64(topo.SRAM[l]); u > sramUtil {
+				sramUtil = u
+			}
+		}
+		if topo.Capacity[l] > 0 {
+			if u := perSwitchCap / topo.Capacity[l]; u > capUtil {
+				capUtil = u
+			}
+		}
+	}
+	return sramUtil, capUtil
+}

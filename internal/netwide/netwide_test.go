@@ -1,0 +1,154 @@
+package netwide
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func demands(n, sram int, bps float64) []VIPDemand {
+	out := make([]VIPDemand, n)
+	for i := range out {
+		out[i] = VIPDemand{Name: fmt.Sprintf("vip%d", i), SRAMBytes: sram, TrafficBps: bps}
+	}
+	return out
+}
+
+func TestAssignBalances(t *testing.T) {
+	topo := Uniform(8, 4, 2, 1<<20, 1e12)
+	vips := demands(100, 100<<10, 1e9)
+	asg, err := Assign(topo, vips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg.Layer) != 100 {
+		t.Fatal("assignment incomplete")
+	}
+	// Total demand 100*100KB = 10MB over 14 switches x 1MB = 14MB budget.
+	// A balanced packing should land near 10/14 ~ 0.71 bottleneck.
+	if asg.MaxSRAMUtil > 0.95 {
+		t.Fatalf("bottleneck SRAM util = %.3f, packing is unbalanced", asg.MaxSRAMUtil)
+	}
+	if asg.MaxCapUtil > 1 {
+		t.Fatalf("capacity exceeded: %.3f", asg.MaxCapUtil)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	topo := Uniform(2, 0, 0, 1<<10, 1e9)
+	topo.Enabled[Agg], topo.Enabled[Core] = 0, 0
+	vips := demands(10, 1<<20, 1) // 10 MB into 2 KB
+	if _, err := Assign(topo, vips); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	// SRAM is plentiful but traffic exceeds one layer's capacity: VIPs
+	// must spread across layers.
+	topo := Uniform(4, 4, 4, 1<<30, 10e9)
+	vips := demands(12, 1<<10, 9e9) // 108 Gbps total, 40 Gbps per layer
+	asg, err := Assign(topo, vips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerSeen := map[Layer]bool{}
+	for _, l := range asg.Layer {
+		layerSeen[l] = true
+	}
+	if len(layerSeen) < 3 {
+		t.Fatalf("traffic should force use of all layers, got %v", layerSeen)
+	}
+	if asg.MaxCapUtil > 1 {
+		t.Fatalf("capacity exceeded: %.3f", asg.MaxCapUtil)
+	}
+}
+
+func TestIncrementalDeployment(t *testing.T) {
+	// Only 2 of 8 ToRs are SilkRoad-enabled: the effective ToR budget
+	// shrinks and more VIPs land on Agg/Core.
+	full := Uniform(8, 4, 2, 1<<20, 1e12)
+	partial := full
+	partial.Enabled[ToR] = 2
+	vips := demands(30, 200<<10, 1e9)
+	fullAsg, err := Assign(full, vips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partAsg, err := Assign(partial, vips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countTor := func(a Assignment) int {
+		n := 0
+		for _, l := range a.Layer {
+			if l == ToR {
+				n++
+			}
+		}
+		return n
+	}
+	if countTor(partAsg) >= countTor(fullAsg) {
+		t.Fatalf("partial deployment should shift VIPs off ToRs: %d vs %d",
+			countTor(partAsg), countTor(fullAsg))
+	}
+}
+
+func TestBadTopology(t *testing.T) {
+	topo := Uniform(2, 2, 2, 1<<20, 1e9)
+	topo.Enabled[ToR] = 5 // more enabled than exist
+	if _, err := Assign(topo, demands(1, 1, 1)); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestUtilizationDisabledLayer(t *testing.T) {
+	topo := Uniform(2, 0, 0, 1<<20, 1e9)
+	topo.Enabled[Agg] = 0
+	s, c := Utilization(topo, demands(1, 100, 1), []Layer{Agg})
+	if s <= 1 || c <= 1 {
+		t.Fatal("assignment to disabled layer must read as over budget")
+	}
+}
+
+// TestMinimizesBottleneck compares against random assignments: the solver
+// must never be worse than the best of 200 random tries.
+func TestMinimizesBottleneck(t *testing.T) {
+	topo := Uniform(6, 3, 2, 1<<20, 1e13)
+	rng := rand.New(rand.NewSource(1))
+	vips := make([]VIPDemand, 40)
+	for i := range vips {
+		vips[i] = VIPDemand{
+			Name:       fmt.Sprintf("v%d", i),
+			SRAMBytes:  10<<10 + rng.Intn(400<<10),
+			TrafficBps: 1e9,
+		}
+	}
+	asg, err := Assign(topo, vips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestRandom := 10.0
+	for trial := 0; trial < 200; trial++ {
+		r := make([]Layer, len(vips))
+		for i := range r {
+			r[i] = Layer(rng.Intn(3))
+		}
+		s, c := Utilization(topo, vips, r)
+		if c <= 1 && s < bestRandom {
+			bestRandom = s
+		}
+	}
+	if asg.MaxSRAMUtil > bestRandom+0.01 {
+		t.Fatalf("solver bottleneck %.3f worse than random best %.3f", asg.MaxSRAMUtil, bestRandom)
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	if ToR.String() != "ToR" || Agg.String() != "Agg" || Core.String() != "Core" {
+		t.Fatal("layer names")
+	}
+	if Layer(7).String() == "" {
+		t.Fatal("unknown layer name")
+	}
+}

@@ -1,0 +1,63 @@
+// Package simtime provides the virtual time base shared by the ASIC model,
+// the control plane, and the flow-level simulator.
+//
+// All components in this repository are clock-agnostic: they never read the
+// wall clock. Instead every time-dependent operation takes an explicit
+// simtime.Time, which the simulator (or a real-time driver such as
+// cmd/silkroadd) advances. This makes every experiment deterministic and
+// repeatable.
+package simtime
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. The zero value is the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Minutes returns the duration as a floating-point number of minutes.
+func (d Duration) Minutes() float64 { return float64(d) / float64(Minute) }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3gms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3gus", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// String formats the time as seconds since the epoch.
+func (t Time) String() string { return fmt.Sprintf("t=%.6fs", float64(t)/float64(Second)) }

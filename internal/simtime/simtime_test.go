@@ -1,0 +1,54 @@
+package simtime
+
+import "testing"
+
+func TestArithmetic(t *testing.T) {
+	base := Time(1000)
+	if got := base.Add(Microsecond); got != Time(2000) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Time(5000).Sub(Time(2000)); got != Duration(3000) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if !Time(1).Before(Time(2)) || Time(1).After(Time(2)) {
+		t.Fatal("ordering wrong")
+	}
+	if Time(2).Before(Time(2)) || Time(2).After(Time(2)) {
+		t.Fatal("equality not strict")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatal("unit ladder broken")
+	}
+	if Minute != 60*Second || Hour != 60*Minute {
+		t.Fatal("coarse units broken")
+	}
+	if got := Duration(90 * Second).Minutes(); got != 1.5 {
+		t.Fatalf("Minutes = %v", got)
+	}
+	if got := Duration(250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{Duration(2 * Second), "2s"},
+		{Duration(3 * Millisecond), "3ms"},
+		{Duration(7 * Microsecond), "7us"},
+		{Duration(42), "42ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+	if Time(1500000000).String() != "t=1.500000s" {
+		t.Fatalf("Time.String = %q", Time(1500000000).String())
+	}
+}

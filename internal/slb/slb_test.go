@@ -1,0 +1,173 @@
+package slb
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/netproto"
+)
+
+func vip() dataplane.VIP {
+	return dataplane.VIP{Addr: netip.MustParseAddr("20.0.0.1"), Port: 80, Proto: netproto.ProtoTCP}
+}
+
+func pool(n int) []dataplane.DIP {
+	out := make([]dataplane.DIP, n)
+	for i := range out {
+		out[i] = netip.MustParseAddrPort(fmt.Sprintf("10.0.0.%d:20", i+1))
+	}
+	return out
+}
+
+func tup(i int) netproto.FiveTuple {
+	return netproto.FiveTuple{
+		Src:     netip.AddrFrom4([4]byte{1, 2, byte(i >> 8), byte(i)}),
+		Dst:     netip.MustParseAddr("20.0.0.1"),
+		SrcPort: uint16(1024 + i),
+		DstPort: 80,
+		Proto:   netproto.ProtoTCP,
+	}
+}
+
+func TestServersNeededFig13Model(t *testing.T) {
+	c := DefaultCapacity()
+	// 40K-server DC with 15 Tbps LB traffic needs 1500 SLBs at NIC line
+	// rate (§2.2).
+	if got := c.ServersNeeded(0, 15e12, 0); got != 1500 {
+		t.Fatalf("15Tbps needs %d SLBs, want 1500", got)
+	}
+	// PPS-bound case.
+	if got := c.ServersNeeded(120e6, 0, 0); got != 10 {
+		t.Fatalf("120Mpps needs %d, want 10", got)
+	}
+	// Connection-bound case.
+	if got := c.ServersNeeded(0, 0, 10_000_000); got != 3 {
+		t.Fatalf("10M conns needs %d, want 3", got)
+	}
+	// Minimum one server.
+	if got := c.ServersNeeded(0, 0, 0); got != 1 {
+		t.Fatalf("zero load needs %d, want 1", got)
+	}
+}
+
+func TestPacketFlowAndPCC(t *testing.T) {
+	b := New(DefaultConfig())
+	if err := b.AddVIP(vip(), pool(8)); err != nil {
+		t.Fatal(err)
+	}
+	first := map[int]dataplane.DIP{}
+	for i := 0; i < 100; i++ {
+		d, ok := b.Packet(0, tup(i))
+		if !ok {
+			t.Fatal("VIP not found")
+		}
+		first[i] = d
+	}
+	// Update: remove a DIP. Established connections must keep their DIP.
+	if err := b.Update(vip(), pool(7)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d, _ := b.Packet(1, tup(i))
+		if d != first[i] {
+			t.Fatalf("conn %d moved from %v to %v across update", i, first[i], d)
+		}
+	}
+	s := b.Stats()
+	if s.ConnInstalls != 100 || s.ConnHits != 100 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.PeakConns != 100 {
+		t.Fatalf("PeakConns = %d", s.PeakConns)
+	}
+}
+
+func TestNewConnsUseNewPool(t *testing.T) {
+	b := New(DefaultConfig())
+	b.AddVIP(vip(), pool(8))
+	removed := pool(8)[7]
+	b.Update(vip(), pool(7)) // drops 10.0.0.8
+	for i := 0; i < 200; i++ {
+		d, _ := b.Packet(0, tup(i))
+		if d == removed {
+			t.Fatalf("new conn mapped to removed DIP %v", removed)
+		}
+	}
+}
+
+func TestConnEnd(t *testing.T) {
+	b := New(DefaultConfig())
+	b.AddVIP(vip(), pool(4))
+	b.Packet(0, tup(1))
+	if b.Conns() != 1 {
+		t.Fatalf("Conns = %d", b.Conns())
+	}
+	b.ConnEnd(tup(1))
+	if b.Conns() != 0 || b.Stats().ConnsEnded != 1 {
+		t.Fatal("ConnEnd did not clean up")
+	}
+	b.ConnEnd(tup(1)) // idempotent
+	if b.Stats().ConnsEnded != 1 {
+		t.Fatal("double end counted")
+	}
+}
+
+func TestUnknownVIP(t *testing.T) {
+	b := New(DefaultConfig())
+	if _, ok := b.Packet(0, tup(1)); ok {
+		t.Fatal("packet to unknown VIP accepted")
+	}
+	if err := b.Update(vip(), pool(2)); err == nil {
+		t.Fatal("update of unknown VIP accepted")
+	}
+}
+
+func TestVIPManagement(t *testing.T) {
+	b := New(DefaultConfig())
+	if err := b.AddVIP(vip(), nil); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if err := b.AddVIP(vip(), pool(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddVIP(vip(), pool(2)); err == nil {
+		t.Fatal("duplicate VIP accepted")
+	}
+	if p, ok := b.Pool(vip()); !ok || len(p) != 2 {
+		t.Fatalf("Pool = %v,%v", p, ok)
+	}
+	if err := b.Update(vip(), nil); err == nil {
+		t.Fatal("empty update accepted")
+	}
+	b.RemoveVIP(vip())
+	if _, ok := b.Pool(vip()); ok {
+		t.Fatal("pool survives RemoveVIP")
+	}
+}
+
+func TestLoadSpread(t *testing.T) {
+	b := New(DefaultConfig())
+	b.AddVIP(vip(), pool(8))
+	counts := map[dataplane.DIP]int{}
+	for i := 0; i < 8000; i++ {
+		d, _ := b.Packet(0, tup(i))
+		counts[d]++
+	}
+	for d, c := range counts {
+		if c < 600 || c > 1500 {
+			t.Fatalf("DIP %v got %d of 8000 (imbalanced)", d, c)
+		}
+	}
+}
+
+func BenchmarkPacketHit(b *testing.B) {
+	lb := New(DefaultConfig())
+	lb.AddVIP(vip(), pool(16))
+	lb.Packet(0, tup(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lb.Packet(0, tup(1))
+	}
+}

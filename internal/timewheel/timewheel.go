@@ -1,0 +1,139 @@
+// Package timewheel implements the hashed timing wheel the switch software
+// uses for connection aging: scheduling and cancelling timeouts in O(1)
+// and expiring due entries in time proportional to how many fire, instead
+// of sweeping every tracked connection.
+//
+// The wheel is lazy in the conntrack style: timers are NOT rescheduled on
+// every packet (that would cost a wheel operation per packet); instead the
+// owner re-checks liveness when a timer fires and reschedules if the entry
+// saw traffic in the meantime.
+package timewheel
+
+import (
+	"repro/internal/simtime"
+)
+
+// Wheel schedules uint64 keys (connection key hashes) at virtual times.
+type Wheel struct {
+	granularity simtime.Duration
+	slots       [][]uint64
+	pos         int                     // slot index corresponding to ticked
+	ticked      simtime.Time            // wheel has expired everything due <= ticked
+	items       map[uint64]simtime.Time // key -> deadline (absent = unscheduled)
+	started     bool
+}
+
+// New creates a wheel with the given slot granularity and slot count. The
+// horizon (granularity * slots) bounds how far ahead a deadline may be;
+// farther deadlines are clamped to the horizon and simply re-examined
+// early by the owner's liveness check.
+func New(granularity simtime.Duration, slots int) *Wheel {
+	if granularity <= 0 || slots <= 1 {
+		panic("timewheel: need positive granularity and >= 2 slots")
+	}
+	return &Wheel{
+		granularity: granularity,
+		slots:       make([][]uint64, slots),
+		items:       make(map[uint64]simtime.Time),
+	}
+}
+
+// Horizon returns the farthest future the wheel can represent.
+func (w *Wheel) Horizon() simtime.Duration {
+	return w.granularity * simtime.Duration(len(w.slots)-1)
+}
+
+// Len returns the number of scheduled keys.
+func (w *Wheel) Len() int { return len(w.items) }
+
+// slotFor maps a deadline to a slot index, clamping to the horizon.
+func (w *Wheel) slotFor(at simtime.Time) int {
+	d := at.Sub(w.ticked)
+	if d < 0 {
+		d = 0
+	}
+	if d > w.Horizon() {
+		d = w.Horizon()
+	}
+	// Round up so a key never fires before its deadline.
+	ticks := int((d + w.granularity - 1) / w.granularity)
+	if ticks == 0 {
+		ticks = 1 // never the current slot: due keys fire on the next tick
+	}
+	if ticks > len(w.slots)-1 {
+		ticks = len(w.slots) - 1
+	}
+	return (w.pos + ticks) % len(w.slots)
+}
+
+// Schedule sets (or moves) key's deadline.
+func (w *Wheel) Schedule(key uint64, at simtime.Time) {
+	if !w.started {
+		// Anchor the wheel at the first scheduling instant.
+		w.started = true
+	}
+	if _, dup := w.items[key]; dup {
+		w.cancelFromSlot(key)
+	}
+	s := w.slotFor(at)
+	w.slots[s] = append(w.slots[s], key)
+	w.items[key] = at
+}
+
+// Cancel removes key; it reports whether it was scheduled.
+func (w *Wheel) Cancel(key uint64) bool {
+	if _, ok := w.items[key]; !ok {
+		return false
+	}
+	w.cancelFromSlot(key)
+	delete(w.items, key)
+	return true
+}
+
+// cancelFromSlot removes key from whatever slot holds it.
+func (w *Wheel) cancelFromSlot(key uint64) {
+	at := w.items[key]
+	s := w.slotFor(at)
+	// The key may sit in a different slot than slotFor now computes (the
+	// wheel has ticked since scheduling); scan outward from the computed
+	// slot. Slots are short, and this path is rare (explicit termination).
+	for probe := 0; probe < len(w.slots); probe++ {
+		idx := (s + probe) % len(w.slots)
+		for i, k := range w.slots[idx] {
+			if k == key {
+				w.slots[idx] = append(w.slots[idx][:i], w.slots[idx][i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Advance ticks the wheel to now and returns the keys whose slots came
+// due. Returned keys are unscheduled; owners re-check liveness and may
+// Schedule them again.
+func (w *Wheel) Advance(now simtime.Time) []uint64 {
+	if !w.started || !now.After(w.ticked) {
+		return nil
+	}
+	ticks := int(now.Sub(w.ticked) / w.granularity)
+	if ticks <= 0 {
+		return nil
+	}
+	if ticks > len(w.slots) {
+		ticks = len(w.slots)
+	}
+	var out []uint64
+	for t := 0; t < ticks; t++ {
+		w.pos = (w.pos + 1) % len(w.slots)
+		if len(w.slots[w.pos]) == 0 {
+			continue
+		}
+		for _, k := range w.slots[w.pos] {
+			delete(w.items, k)
+			out = append(out, k)
+		}
+		w.slots[w.pos] = w.slots[w.pos][:0]
+	}
+	w.ticked = w.ticked.Add(simtime.Duration(ticks) * w.granularity)
+	return out
+}

@@ -1,0 +1,176 @@
+package timewheel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func sec(n int) simtime.Time { return simtime.Time(n) * simtime.Time(simtime.Second) }
+
+func wheel() *Wheel {
+	return New(simtime.Duration(simtime.Second), 64)
+}
+
+func TestScheduleAndFire(t *testing.T) {
+	w := wheel()
+	w.Schedule(1, sec(5))
+	w.Schedule(2, sec(10))
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if got := w.Advance(sec(4)); len(got) != 0 {
+		t.Fatalf("fired early: %v", got)
+	}
+	got := w.Advance(sec(6))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("at t=6 fired %v, want [1]", got)
+	}
+	got = w.Advance(sec(11))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("at t=11 fired %v, want [2]", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after firing", w.Len())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := wheel()
+	w.Schedule(7, sec(3))
+	if !w.Cancel(7) {
+		t.Fatal("Cancel returned false")
+	}
+	if w.Cancel(7) {
+		t.Fatal("double cancel returned true")
+	}
+	if got := w.Advance(sec(10)); len(got) != 0 {
+		t.Fatalf("cancelled key fired: %v", got)
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	w := wheel()
+	w.Schedule(9, sec(3))
+	w.Schedule(9, sec(20)) // move it
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if got := w.Advance(sec(10)); len(got) != 0 {
+		t.Fatalf("old deadline fired: %v", got)
+	}
+	if got := w.Advance(sec(21)); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("new deadline: %v", got)
+	}
+}
+
+func TestHorizonClamp(t *testing.T) {
+	w := wheel() // horizon 63s
+	w.Schedule(5, sec(1000))
+	got := w.Advance(sec(64))
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("beyond-horizon key should fire at horizon for re-check: %v", got)
+	}
+}
+
+func TestPastDeadlineFiresNextTick(t *testing.T) {
+	w := wheel()
+	w.Advance(sec(10))
+	w.Schedule(3, sec(1)) // already past
+	if got := w.Advance(sec(12)); len(got) != 1 {
+		t.Fatalf("past-deadline key did not fire promptly: %v", got)
+	}
+}
+
+func TestLongIdleAdvance(t *testing.T) {
+	w := wheel()
+	w.Schedule(1, sec(2))
+	// Advancing far beyond a full wheel rotation must still fire exactly
+	// once and not wrap into phantom fires.
+	got := w.Advance(sec(100000))
+	if len(got) != 1 {
+		t.Fatalf("fired %v", got)
+	}
+	if got := w.Advance(sec(200000)); len(got) != 0 {
+		t.Fatalf("phantom fire: %v", got)
+	}
+}
+
+func TestManyKeysStress(t *testing.T) {
+	w := New(simtime.Duration(100*simtime.Millisecond), 128)
+	rng := rand.New(rand.NewSource(1))
+	deadlines := map[uint64]simtime.Time{}
+	for i := uint64(1); i <= 5000; i++ {
+		at := simtime.Time(rng.Intn(12_000)) * simtime.Time(simtime.Millisecond)
+		w.Schedule(i, at)
+		deadlines[i] = at
+	}
+	// Cancel a random quarter.
+	cancelled := map[uint64]bool{}
+	for k := range deadlines {
+		if rng.Intn(4) == 0 {
+			w.Cancel(k)
+			cancelled[k] = true
+		}
+	}
+	fired := map[uint64]simtime.Time{}
+	for step := 1; step <= 140; step++ {
+		now := simtime.Time(step) * simtime.Time(100*simtime.Millisecond)
+		for _, k := range w.Advance(now) {
+			if _, dup := fired[k]; dup {
+				t.Fatalf("key %d fired twice", k)
+			}
+			fired[k] = now
+		}
+	}
+	for k, at := range deadlines {
+		if cancelled[k] {
+			if _, ok := fired[k]; ok {
+				t.Fatalf("cancelled key %d fired", k)
+			}
+			continue
+		}
+		fat, ok := fired[k]
+		if !ok {
+			t.Fatalf("key %d never fired (deadline %v)", k, at)
+		}
+		if fat.Before(at) {
+			t.Fatalf("key %d fired at %v before deadline %v", k, fat, at)
+		}
+		// Fires within one granularity + one tick of the deadline.
+		if fat.Sub(at) > simtime.Duration(300*simtime.Millisecond) {
+			t.Fatalf("key %d fired %v late", k, fat.Sub(at))
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 8) },
+		func() { New(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad New did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	w := New(simtime.Duration(simtime.Second), 512)
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		w.Schedule(k, simtime.Time(i%400)*simtime.Time(simtime.Second))
+		if i%2 == 0 {
+			w.Cancel(k)
+		}
+		if i%1024 == 0 {
+			w.Advance(simtime.Time(i) * simtime.Time(simtime.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package silkroad is a faithful reimplementation of SilkRoad (Miao et al.,
+// SIGCOMM 2017): a stateful layer-4 load balancer that runs entirely in a
+// switching ASIC, keeping per-connection state in on-chip SRAM and
+// guaranteeing per-connection consistency (PCC) across DIP pool updates.
+//
+// The package wraps the two halves of the system — the hardware data plane
+// (internal/dataplane: ConnTable, VIPTable, DIPPoolTable, TransitTable,
+// learning filter on a modeled ASIC) and the switch software
+// (internal/ctrlplane: cuckoo insertions, the 3-step PCC update, version
+// management) — behind one Switch type driven by explicit virtual time:
+//
+//	sw, _ := silkroad.NewSwitch(silkroad.Defaults(1_000_000))
+//	vip := silkroad.NewVIP("20.0.0.1", 80, silkroad.TCP)
+//	sw.AddVIP(0, vip, silkroad.Pool("10.0.0.1:20", "10.0.0.2:20"))
+//	dip, _ := sw.Forward(now, rawPacket)           // full packet path
+//	sw.RemoveDIP(now, vip, silkroad.AddrPort("10.0.0.2:20")) // PCC update
+//
+// Nothing here reads the wall clock; callers pass simtime-style timestamps
+// (nanoseconds), which makes behaviour reproducible and lets the same code
+// run under the flow-level simulator, the benchmark harness, and the
+// real-socket demo in cmd/silkroadd.
+package silkroad
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"repro/internal/ctrlplane"
+	"repro/internal/dataplane"
+	"repro/internal/health"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+// Re-exported core types. VIP identifies a service; DIP is a backend
+// address; FiveTuple identifies a connection.
+type (
+	// VIP is a virtual IP service endpoint (address, port, protocol).
+	VIP = dataplane.VIP
+	// DIP is a direct (backend) address.
+	DIP = dataplane.DIP
+	// FiveTuple identifies a transport connection.
+	FiveTuple = netproto.FiveTuple
+	// Packet is a decoded L3/L4 packet.
+	Packet = netproto.Packet
+	// Time is virtual time in nanoseconds.
+	Time = simtime.Time
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = simtime.Duration
+	// Result reports the pipeline's decision for one packet.
+	Result = dataplane.Result
+)
+
+// Transport protocols.
+const (
+	TCP = netproto.ProtoTCP
+	UDP = netproto.ProtoUDP
+)
+
+// Common durations.
+const (
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+	Minute      = simtime.Minute
+)
+
+// NewVIP builds a VIP from a textual address. It panics on a malformed
+// address (intended for literals; parse inputs with netip directly).
+func NewVIP(addr string, port uint16, proto netproto.Proto) VIP {
+	return VIP{Addr: netip.MustParseAddr(addr), Port: port, Proto: proto}
+}
+
+// AddrPort parses a "host:port" backend address, panicking on malformed
+// input (intended for literals).
+func AddrPort(s string) DIP { return netip.MustParseAddrPort(s) }
+
+// Pool builds a DIP pool from "host:port" literals.
+func Pool(addrs ...string) []DIP {
+	out := make([]DIP, len(addrs))
+	for i, a := range addrs {
+		out[i] = AddrPort(a)
+	}
+	return out
+}
+
+// Config bundles the data-plane and control-plane configuration.
+type Config struct {
+	Dataplane    dataplane.Config
+	Controlplane ctrlplane.Config
+}
+
+// Defaults returns the paper's operating point for a switch provisioned
+// for n concurrent connections: 16-bit digests, 6-bit versions, a 256-byte
+// TransitTable, a 2048-entry learning filter with 1 ms timeout, and a
+// 200K/s insertion CPU.
+func Defaults(n int) Config {
+	return Config{
+		Dataplane:    dataplane.DefaultConfig(n),
+		Controlplane: ctrlplane.DefaultConfig(),
+	}
+}
+
+// Stats aggregates hardware and software counters.
+type Stats struct {
+	Dataplane    dataplane.Stats
+	Controlplane ctrlplane.Metrics
+	Connections  int // tracked by the switch software
+	MemoryBytes  int // current SRAM consumption
+}
+
+// Switch is a SilkRoad load-balancing switch: the ASIC data plane plus its
+// management-CPU software, advanced together in virtual time.
+//
+// Switch methods are safe for concurrent use: the facade serializes calls
+// the way the single pipeline and the single switch CPU would. (The inner
+// internal/dataplane and internal/ctrlplane types are not independently
+// thread-safe.)
+type Switch struct {
+	mu sync.Mutex
+	dp *dataplane.Switch
+	cp *ctrlplane.ControlPlane
+}
+
+// NewSwitch builds a switch from cfg.
+func NewSwitch(cfg Config) (*Switch, error) {
+	dp, err := dataplane.New(cfg.Dataplane)
+	if err != nil {
+		return nil, err
+	}
+	return &Switch{dp: dp, cp: ctrlplane.New(dp, cfg.Controlplane)}, nil
+}
+
+// Dataplane exposes the underlying data plane (advanced use: resource
+// reports, direct table inspection).
+func (s *Switch) Dataplane() *dataplane.Switch { return s.dp }
+
+// Controlplane exposes the underlying switch software.
+func (s *Switch) Controlplane() *ctrlplane.ControlPlane { return s.cp }
+
+// AddVIP announces a VIP with an initial DIP pool. A meter rate of 0
+// leaves the VIP unmetered; a positive rate (bytes/s) attaches a hardware
+// two-rate three-color meter for performance isolation.
+func (s *Switch) AddVIP(now Time, vip VIP, pool []DIP) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.AddVIP(now, vip, pool, 0)
+}
+
+// AddVIPMetered announces a VIP with a committed-rate meter.
+func (s *Switch) AddVIPMetered(now Time, vip VIP, pool []DIP, meterBytesPerSec float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.AddVIP(now, vip, pool, meterBytesPerSec)
+}
+
+// RemoveVIP withdraws a VIP.
+func (s *Switch) RemoveVIP(now Time, vip VIP) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.RemoveVIP(now, vip)
+}
+
+// AddDIP adds a backend to vip's pool with full per-connection
+// consistency (the 3-step update of §4.3 runs under the hood).
+func (s *Switch) AddDIP(now Time, vip VIP, dip DIP) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.AddDIP(now, vip, dip)
+}
+
+// RemoveDIP removes a backend from vip's pool with PCC.
+func (s *Switch) RemoveDIP(now Time, vip VIP, dip DIP) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.RemoveDIP(now, vip, dip)
+}
+
+// UpdatePool replaces vip's pool wholesale with PCC.
+func (s *Switch) UpdatePool(now Time, vip VIP, pool []DIP) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.RequestUpdate(now, vip, pool)
+}
+
+// CurrentPool returns the pool new connections map to.
+func (s *Switch) CurrentPool(vip VIP) ([]DIP, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.CurrentPool(vip)
+}
+
+// Process runs one decoded packet through the switch: background CPU work
+// due by now executes first, then the ASIC pipeline, then any CPU
+// arbitration the pipeline requested (redirected SYNs).
+func (s *Switch) Process(now Time, pkt *Packet) Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.process(now, pkt)
+}
+
+func (s *Switch) process(now Time, pkt *Packet) Result {
+	s.cp.Advance(now)
+	res := s.dp.Process(now, pkt)
+	return s.cp.HandleResult(now, pkt, res)
+}
+
+// Forward processes a raw IPv4/IPv6 packet: decode, balance, rewrite the
+// destination to the chosen DIP in place, and return that DIP. The
+// returned error distinguishes undecodable packets, unknown VIPs and
+// meter drops.
+func (s *Switch) Forward(now Time, raw []byte) (DIP, error) {
+	var pkt Packet
+	if err := netproto.Decode(raw, &pkt); err != nil {
+		return DIP{}, err
+	}
+	s.mu.Lock()
+	res := s.process(now, &pkt)
+	s.mu.Unlock()
+	switch res.Verdict {
+	case dataplane.VerdictForward:
+		if err := netproto.RewriteDst(raw, res.DIP); err != nil {
+			return DIP{}, err
+		}
+		return res.DIP, nil
+	case dataplane.VerdictNoVIP:
+		return DIP{}, fmt.Errorf("silkroad: %v is not a VIP", dataplane.VIPOf(pkt.Tuple))
+	case dataplane.VerdictMeterDrop:
+		return DIP{}, fmt.Errorf("silkroad: packet dropped by VIP meter")
+	default:
+		return DIP{}, fmt.Errorf("silkroad: unresolved verdict %v", res.Verdict)
+	}
+}
+
+// ForwardIPIP processes a raw IPv4 packet and returns it encapsulated
+// IP-in-IP toward the chosen DIP (Maglev-style forwarding with direct
+// server return: the inner packet keeps the VIP destination, the DIP
+// decapsulates). selfAddr is the outer source (this load balancer).
+func (s *Switch) ForwardIPIP(now Time, raw []byte, selfAddr netip.Addr) ([]byte, DIP, error) {
+	var pkt Packet
+	if err := netproto.Decode(raw, &pkt); err != nil {
+		return nil, DIP{}, err
+	}
+	s.mu.Lock()
+	res := s.process(now, &pkt)
+	s.mu.Unlock()
+	if res.Verdict != dataplane.VerdictForward {
+		return nil, DIP{}, fmt.Errorf("silkroad: unresolved verdict %v", res.Verdict)
+	}
+	enc, err := netproto.EncapIPIP(nil, selfAddr, res.DIP.Addr(), raw)
+	if err != nil {
+		return nil, DIP{}, err
+	}
+	return enc, res.DIP, nil
+}
+
+// EndConnection tells the switch a connection terminated, freeing its
+// ConnTable entry and possibly retiring a pool version.
+func (s *Switch) EndConnection(now Time, t FiveTuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cp.EndConnection(now, t)
+}
+
+// Advance runs background work (learning-filter drains, CPU insertions,
+// update state transitions, aging) due at or before now.
+func (s *Switch) Advance(now Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cp.Advance(now)
+}
+
+// NextEventTime returns when the switch next has background work due.
+func (s *Switch) NextEventTime() (Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.NextEventTime()
+}
+
+// NewHealthChecker builds a §7-style DIP health checker bound to this
+// switch: failed probes drive PCC-preserving RemoveDIP updates, recoveries
+// drive AddDIP. The caller advances the checker alongside the switch:
+//
+//	hc := sw.NewHealthChecker(health.DefaultConfig(), probe)
+//	hc.Watch(vip, dip)
+//	... hc.Advance(now); sw.Advance(now) ...
+func (s *Switch) NewHealthChecker(cfg health.Config, probe health.ProbeFunc) *health.Checker {
+	return health.New(cfg, lockedManager{s}, probe)
+}
+
+// lockedManager adapts the switch's locked facade as a health.PoolManager.
+type lockedManager struct{ s *Switch }
+
+func (m lockedManager) AddDIP(now Time, vip VIP, dip DIP) error {
+	return m.s.AddDIP(now, vip, dip)
+}
+
+func (m lockedManager) RemoveDIP(now Time, vip VIP, dip DIP) error {
+	return m.s.RemoveDIP(now, vip, dip)
+}
+
+// Stats returns combined counters.
+func (s *Switch) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dataplane:    s.dp.Stats(),
+		Controlplane: s.cp.Metrics(),
+		Connections:  s.cp.TrackedConns(),
+		MemoryBytes:  s.dp.Memory().Total(),
+	}
+}
