@@ -62,6 +62,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.String())
+		if rep.ArtifactName != "" {
+			if err := os.WriteFile(rep.ArtifactName, rep.Artifact, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "silkroad-bench: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", rep.ArtifactName)
+		}
 		fmt.Printf("(%s took %.1fs)\n\n", r.ID, time.Since(start).Seconds())
 	}
 }

@@ -139,6 +139,22 @@ func Tofino64() Config {
 	}
 }
 
+// PerPipe returns the share of this chip's budget owned by one of n
+// parallel forwarding pipelines. Multi-pipeline ASICs (Tofino-class chips
+// forward through 2-4 independent pipes) split the match SRAM and the
+// aggregate forwarding capacity evenly across pipes, while per-pipe
+// physical properties — stage count and port-to-port latency — are
+// unchanged.
+func (c Config) PerPipe(n int) Config {
+	if n <= 1 {
+		return c
+	}
+	c.Name = fmt.Sprintf("%s (1 of %d pipes)", c.Name, n)
+	c.SRAMBytes /= n
+	c.CapacityTbps /= float64(n)
+	return c
+}
+
 // Chip hosts allocated primitives and accounts their resources.
 type Chip struct {
 	cfg    Config
@@ -193,11 +209,13 @@ func (c *Chip) AllocExactMatch(name string, tcfg cuckoo.Config, keyBits int) (*c
 	if tcfg.Stages > c.cfg.Stages {
 		return nil, fmt.Errorf("asic: table %q wants %d stages, chip has %d", name, tcfg.Stages, c.cfg.Stages)
 	}
-	t := cuckoo.New(tcfg)
-	need := t.SRAMBytes()
+	// Budget check precedes construction: a rejected allocation must not
+	// have built (or worse, leaked) a full-size table.
+	need := tcfg.SRAMBytes()
 	if need > c.SRAMAvailable() {
 		return nil, ErrOutOfSRAM{Want: need, Have: c.SRAMAvailable()}
 	}
+	t := cuckoo.New(tcfg)
 	indexBits := bitsFor(tcfg.BucketsPerStage)
 	c.used.Add(Resources{
 		SRAMBytes:         need,
@@ -231,10 +249,10 @@ func (c *Chip) AllocBloom(name string, sizeBytes, k int, seed uint64) (*bloom.Fi
 	if _, dup := c.blooms[name]; dup {
 		return nil, fmt.Errorf("asic: bloom %q already allocated", name)
 	}
-	f := bloom.New(sizeBytes, k, seed)
 	if sizeBytes > c.SRAMAvailable() {
 		return nil, ErrOutOfSRAM{Want: sizeBytes, Have: c.SRAMAvailable()}
 	}
+	f := bloom.New(sizeBytes, k, seed)
 	c.used.Add(Resources{
 		SRAMBytes:    sizeBytes,
 		StatefulALUs: k,
@@ -249,10 +267,10 @@ func (c *Chip) AllocMeters(name string, n int, conf func(i int) *regarray.Meter)
 	if _, dup := c.meters[name]; dup {
 		return nil, fmt.Errorf("asic: meters %q already allocated", name)
 	}
-	b := regarray.NewMeterBank(n, conf)
-	if b.SRAMBytes() > c.SRAMAvailable() {
-		return nil, ErrOutOfSRAM{Want: b.SRAMBytes(), Have: c.SRAMAvailable()}
+	if need := regarray.BankSRAMBytes(n); need > c.SRAMAvailable() {
+		return nil, ErrOutOfSRAM{Want: need, Have: c.SRAMAvailable()}
 	}
+	b := regarray.NewMeterBank(n, conf)
 	c.used.Add(Resources{SRAMBytes: b.SRAMBytes(), StatefulALUs: 1})
 	c.meters[name] = b
 	return b, nil
@@ -263,15 +281,20 @@ func (c *Chip) AllocLearnFilter(capacity int, timeout simtime.Duration) (*learnf
 	if c.learn != nil {
 		return nil, fmt.Errorf("asic: learning filter already allocated")
 	}
-	c.learn = learnfilter.New(capacity, timeout)
 	// The filter buffers capacity events of ~16B each.
+	if need := capacity * 16; need > c.SRAMAvailable() {
+		return nil, ErrOutOfSRAM{Want: need, Have: c.SRAMAvailable()}
+	}
+	c.learn = learnfilter.New(capacity, timeout)
 	c.used.Add(Resources{SRAMBytes: capacity * 16, StatefulALUs: 1})
 	return c.learn, nil
 }
 
-// bitsFor returns ceil(log2(n)) for n>1, else 1.
+// bitsFor returns ceil(log2(n)): the number of address or hash bits needed
+// to distinguish n values. Degenerate sizes (n <= 1) need no bits at all —
+// a single bucket is addressed by the empty string, not by one bit.
 func bitsFor(n int) int {
-	b := 1
+	b := 0
 	for 1<<uint(b) < n {
 		b++
 	}

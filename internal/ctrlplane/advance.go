@@ -213,6 +213,12 @@ func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple
 		res.Verdict = dataplane.VerdictForward
 		return res
 	}
+	if !dip.IsValid() {
+		// The resolved version's pool is empty: there is no backend to pin
+		// the connection to — drop instead of installing an unroutable entry.
+		res.Verdict = dataplane.VerdictNoBackend
+		return res
+	}
 	switch insErr := cp.sw.InsertConn(tuple, ver); insErr {
 	case nil:
 		cp.conns[res.KeyHash] = &connShadow{
@@ -258,6 +264,9 @@ func (cp *ControlPlane) resolveTransitSYN(now simtime.Time, pkt *netproto.Packet
 		res.Version = ver
 		if dip, err := cp.sw.SelectDIP(vip, ver, pkt.Tuple); err == nil {
 			res.DIP = dip
+		}
+		if !res.DIP.IsValid() {
+			res.Verdict = dataplane.VerdictNoBackend
 		}
 		return res
 	}

@@ -99,6 +99,32 @@ type Metrics struct {
 	MaxInsertQueue      int
 }
 
+// Add accumulates o into m — the per-pipe to chip-level aggregation used by
+// the multi-pipe engine. Sums are added; MaxInsertQueue takes the maximum,
+// since each pipe has its own insertion CPU.
+func (m *Metrics) Add(o Metrics) {
+	m.Inserted += o.Inserted
+	m.DuplicateLearns += o.DuplicateLearns
+	m.Overflows += o.Overflows
+	m.DigestFPsResolved += o.DigestFPsResolved
+	m.BloomFPsResolved += o.BloomFPsResolved
+	m.RetransmittedSYNs += o.RetransmittedSYNs
+	m.UpdatesRequested += o.UpdatesRequested
+	m.UpdatesCompleted += o.UpdatesCompleted
+	m.UpdatesCoalesced += o.UpdatesCoalesced
+	m.VersionAllocs += o.VersionAllocs
+	m.VersionReuses += o.VersionReuses
+	m.VersionExhaustions += o.VersionExhaustions
+	m.ConnsEnded += o.ConnsEnded
+	m.AgedOut += o.AgedOut
+	m.ResilientFailovers += o.ResilientFailovers
+	m.ResilientRecoveries += o.ResilientRecoveries
+	m.InsertDelaySum += o.InsertDelaySum
+	if o.MaxInsertQueue > m.MaxInsertQueue {
+		m.MaxInsertQueue = o.MaxInsertQueue
+	}
+}
+
 // MeanInsertDelay returns the average arrival-to-install latency.
 func (m Metrics) MeanInsertDelay() simtime.Duration {
 	if m.Inserted == 0 {

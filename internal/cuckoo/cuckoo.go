@@ -189,16 +189,30 @@ func (t *Table) EntryBitsStage(s int) int {
 // SRAMBytes returns the table's SRAM footprint. With uniform digests every
 // stage costs the same words; narrower-digest stages pack more entries per
 // word and need fewer words for the same way count.
-func (t *Table) SRAMBytes() int {
+func (t *Table) SRAMBytes() int { return t.cfg.SRAMBytes() }
+
+// SRAMBytes returns the SRAM footprint a table built from cfg would occupy,
+// without building it — the asic package checks this against the chip
+// budget before committing to an allocation. It applies the same defaults
+// New does (112-bit words, uniform digests unless DigestBitsPerStage).
+func (cfg Config) SRAMBytes() int {
+	wordBits := cfg.WordBits
+	if wordBits == 0 {
+		wordBits = 112
+	}
 	total := 0
-	for s := 0; s < t.cfg.Stages; s++ {
-		perWord := t.cfg.WordBits / t.EntryBitsStage(s)
+	for s := 0; s < cfg.Stages; s++ {
+		digest := cfg.DigestBits
+		if cfg.DigestBitsPerStage != nil && s < len(cfg.DigestBitsPerStage) {
+			digest = cfg.DigestBitsPerStage[s]
+		}
+		perWord := wordBits / (digest + cfg.ValueBits + cfg.OverheadBits)
 		if perWord < 1 {
 			perWord = 1
 		}
-		slots := t.cfg.BucketsPerStage * t.cfg.Ways
+		slots := cfg.BucketsPerStage * cfg.Ways
 		words := (slots + perWord - 1) / perWord
-		total += words * t.cfg.WordBits / 8
+		total += words * wordBits / 8
 	}
 	return total
 }

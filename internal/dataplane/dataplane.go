@@ -99,6 +99,9 @@ const (
 	// VerdictRedirectSYNTransit: a SYN matched the TransitTable during
 	// step 2 of an update — a suspected bloom false positive (§4.3).
 	VerdictRedirectSYNTransit
+	// VerdictNoBackend: the selected DIP pool version holds no backends, so
+	// the packet is dropped rather than forwarded to a zero-valued address.
+	VerdictNoBackend
 )
 
 // String names the verdict.
@@ -114,6 +117,8 @@ func (v Verdict) String() string {
 		return "redirect-syn-conntable"
 	case VerdictRedirectSYNTransit:
 		return "redirect-syn-transittable"
+	case VerdictNoBackend:
+		return "no-backend"
 	default:
 		return fmt.Sprintf("verdict(%d)", uint8(v))
 	}
@@ -136,6 +141,7 @@ type Result struct {
 type Stats struct {
 	Packets             uint64
 	NoVIP               uint64
+	NoBackend           uint64 // drops because the pool version was empty
 	MeterDrops          uint64
 	ConnHits            uint64
 	ConnMisses          uint64
@@ -146,6 +152,24 @@ type Stats struct {
 	SYNRedirectTransit  uint64
 	LearnOffers         uint64
 	ForwardedOldVersion uint64 // packets pinned to an old pool by TransitTable
+}
+
+// Add accumulates o into s — the per-pipe to chip-level aggregation used by
+// the multi-pipe engine.
+func (s *Stats) Add(o Stats) {
+	s.Packets += o.Packets
+	s.NoVIP += o.NoVIP
+	s.NoBackend += o.NoBackend
+	s.MeterDrops += o.MeterDrops
+	s.ConnHits += o.ConnHits
+	s.ConnMisses += o.ConnMisses
+	s.TransitChecks += o.TransitChecks
+	s.TransitHits += o.TransitHits
+	s.TransitInserts += o.TransitInserts
+	s.SYNRedirectConn += o.SYNRedirectConn
+	s.SYNRedirectTransit += o.SYNRedirectTransit
+	s.LearnOffers += o.LearnOffers
+	s.ForwardedOldVersion += o.ForwardedOldVersion
 }
 
 // vipState is the hardware state for one VIP: its VIPTable row, update
@@ -261,7 +285,7 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 		s.stats.NoVIP++
 		return Result{Verdict: VerdictNoVIP}
 	}
-	if vs.meter != nil && vs.meter.Mark(now, 40+len(pkt.Payload)) == regarray.Red {
+	if vs.meter != nil && vs.meter.Mark(now, pkt.WireLen()) == regarray.Red {
 		s.stats.MeterDrops++
 		return Result{Verdict: VerdictMeterDrop}
 	}
@@ -275,6 +299,13 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 		res.Version = ver
 		res.ConnHandle = h
 		res.DIP = s.selectDIP(vs, ver, keyHash)
+		if !res.DIP.IsValid() {
+			// The pinned version's pool is empty: nothing to forward to,
+			// SYN or not — drop instead of emitting a zero destination.
+			s.stats.NoBackend++
+			res.Verdict = VerdictNoBackend
+			return res
+		}
 		if pkt.IsSYN() {
 			// A connection-opening packet should miss; a hit suggests a
 			// digest false positive (or a retransmitted SYN of a pending
@@ -303,6 +334,11 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 				s.stats.SYNRedirectTransit++
 				res.Version = ver
 				res.DIP = s.selectDIP(vs, ver, keyHash)
+				if !res.DIP.IsValid() {
+					s.stats.NoBackend++
+					res.Verdict = VerdictNoBackend
+					return res
+				}
 				res.Verdict = VerdictRedirectSYNTransit
 				return res
 			}
@@ -315,6 +351,13 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 	}
 	res.Version = ver
 	res.DIP = s.selectDIP(vs, ver, keyHash)
+	if !res.DIP.IsValid() {
+		// Empty pool version: drop, and do not learn — installing ConnTable
+		// state for an unroutable connection would only waste SRAM.
+		s.stats.NoBackend++
+		res.Verdict = VerdictNoBackend
+		return res
+	}
 	// Trigger learning: the CPU will install keyHash -> ver.
 	if s.learn.Offer(learnfilter.Event{
 		Tuple:   pkt.Tuple,

@@ -86,6 +86,15 @@ func (m MemoryBreakdown) Total() int {
 	return m.ConnTableBytes + m.DIPPoolBytes + m.TransitBytes + m.LearnFilterBytes + m.VIPTableBytes
 }
 
+// Add accumulates o into m (per-pipe to chip-level aggregation).
+func (m *MemoryBreakdown) Add(o MemoryBreakdown) {
+	m.ConnTableBytes += o.ConnTableBytes
+	m.DIPPoolBytes += o.DIPPoolBytes
+	m.TransitBytes += o.TransitBytes
+	m.LearnFilterBytes += o.LearnFilterBytes
+	m.VIPTableBytes += o.VIPTableBytes
+}
+
 // Memory returns the switch's current SRAM breakdown. ConnTable reports
 // allocated words (capacity), DIPPoolTable the live rows.
 func (s *Switch) Memory() MemoryBreakdown {

@@ -20,6 +20,12 @@ type Report struct {
 	ID    string // "table1", "fig16", ...
 	Title string
 	lines []string
+
+	// ArtifactName and Artifact optionally carry a machine-readable payload
+	// (e.g. JSON) that silkroad-bench writes to a file of that name next to
+	// the printed report.
+	ArtifactName string
+	Artifact     []byte
 }
 
 // Printf appends a formatted row.
@@ -66,6 +72,7 @@ func All() []Runner {
 		{"sec52", "Prototype microbenchmarks: meters, insertion rate, digest FPs, cost", func(s float64, seed int64) (*Report, error) { return Sec52(s, seed) }},
 		{"netwide", "Network-wide VIP-to-layer assignment (§5.3)", func(s float64, seed int64) (*Report, error) { return Netwide(s, seed) }},
 		{"hybrid", "ConnTable-as-cache with SLB overflow tier (§7)", func(s float64, seed int64) (*Report, error) { return Hybrid(s, seed) }},
+		{"pipes", "Multi-pipe aggregate throughput, 1 vs 4 pipes (BENCH_pipes.json)", func(s float64, seed int64) (*Report, error) { return PipesBench(s, seed) }},
 	}
 }
 

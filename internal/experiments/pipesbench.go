@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/ctrlplane"
+	"repro/internal/dataplane"
+	"repro/internal/netproto"
+	"repro/internal/pipes"
+	"repro/internal/simtime"
+)
+
+// perPipePacketRate is the line rate of one forwarding pipeline in packets
+// per second. A Tofino-class pipe forwards minimum-size packets at about
+// 1 Bpps (roughly 1.6 Tb/s per pipe at 200 B average frames); the exact
+// constant cancels out of the speedup ratio.
+const perPipePacketRate = 1e9
+
+// PipesBenchConfig is the measured outcome for one pipe count.
+type PipesBenchConfig struct {
+	Pipes       int      `json:"pipes"`
+	Packets     uint64   `json:"packets"`
+	PipePackets []uint64 `json:"pipe_packets"`
+	Connections int      `json:"connections"`
+	// ModeledPPS is the chip's aggregate forwarding rate under the ASIC
+	// model: each pipe drains its shard at the per-pipe line rate, so the
+	// chip finishes when its most-loaded pipe does.
+	ModeledPPS float64 `json:"modeled_pps"`
+	// WallclockPPS is packets per wall-clock second of this simulation run
+	// on the build host. It measures the simulator, not the ASIC, and
+	// depends on host core count.
+	WallclockPPS float64 `json:"wallclock_pps"`
+}
+
+// PipesBenchResult is the machine-readable payload written to
+// BENCH_pipes.json.
+type PipesBenchResult struct {
+	Scale           float64            `json:"scale"`
+	Seed            int64              `json:"seed"`
+	Note            string             `json:"note"`
+	Configs         []PipesBenchConfig `json:"configs"`
+	ModeledSpeedup  float64            `json:"modeled_speedup"`
+	WallclockSpeedX float64            `json:"wallclock_speedup"`
+}
+
+const pipesBenchNote = "modeled_pps is the headline aggregate throughput: each pipe " +
+	"forwards its shard at the per-pipe line rate (1e9 pps), so the chip-level rate is " +
+	"total_packets / max_pipe_packets x line rate. wallclock_pps measures this " +
+	"simulator on the build host and scales with host cores, not with modeled pipes."
+
+// runPipesConfig drives one engine through the benchmark workload and
+// returns its measured row.
+func runPipesConfig(nPipes, conns, pktsPerConn, batchSize int, seed int64) (PipesBenchConfig, error) {
+	dcfg := dataplane.DefaultConfig(200_000)
+	dcfg.Seed = uint64(seed)
+	eng, err := pipes.New(pipes.Config{
+		Pipes:        nPipes,
+		Dataplane:    dcfg,
+		Controlplane: ctrlplane.DefaultConfig(),
+	})
+	if err != nil {
+		return PipesBenchConfig{}, err
+	}
+	if err := eng.AddVIP(0, expVIP(), expPool(8), 0); err != nil {
+		return PipesBenchConfig{}, err
+	}
+
+	// Interleave connections so each batch mixes SYNs and established
+	// traffic across the whole tuple space, like a ToR sees.
+	pktsTotal := conns * pktsPerConn
+	batch := make([]*netproto.Packet, 0, batchSize)
+	now := simtime.Time(0)
+	start := time.Now()
+	for p := 0; p < pktsTotal; p += batchSize {
+		batch = batch[:0]
+		for i := p; i < p+batchSize && i < pktsTotal; i++ {
+			conn := i % conns
+			flags := netproto.FlagACK
+			if i < conns { // first pass over the tuple space: handshakes
+				flags = netproto.FlagSYN
+			}
+			batch = append(batch, &netproto.Packet{Tuple: expTuple(conn), TCPFlags: flags})
+		}
+		eng.ProcessBatch(now, batch)
+		// ~1 us of virtual time per batch keeps the per-pipe CPUs draining
+		// their learning filters while traffic flows.
+		now = now.Add(simtime.Duration(simtime.Microsecond))
+		eng.Advance(now)
+	}
+	elapsed := time.Since(start).Seconds()
+	// Let every pipe's CPU drain its learning filter and insertion queue so
+	// the connection count reflects the workload, not the flush timeout.
+	eng.Advance(now.Add(simtime.Duration(simtime.Second)))
+	st := eng.Stats()
+
+	var maxPipe uint64
+	for _, n := range st.PipePackets {
+		if n > maxPipe {
+			maxPipe = n
+		}
+	}
+	row := PipesBenchConfig{
+		Pipes:       nPipes,
+		Packets:     st.Dataplane.Packets,
+		PipePackets: st.PipePackets,
+		Connections: st.Connections,
+	}
+	if maxPipe > 0 {
+		row.ModeledPPS = float64(st.Dataplane.Packets) / float64(maxPipe) * perPipePacketRate
+	}
+	if elapsed > 0 {
+		row.WallclockPPS = float64(st.Dataplane.Packets) / elapsed
+	}
+	return row, nil
+}
+
+// PipesBench measures aggregate throughput of a single-pipe chip against a
+// 4-pipe chip on the same workload. The report carries a BENCH_pipes.json
+// artifact.
+func PipesBench(scale float64, seed int64) (*Report, error) {
+	conns := int(20_000 * scale)
+	if conns < 1000 {
+		conns = 1000
+	}
+	const pktsPerConn = 5
+	const batchSize = 512
+
+	result := PipesBenchResult{Scale: scale, Seed: seed, Note: pipesBenchNote}
+	for _, n := range []int{1, 4} {
+		row, err := runPipesConfig(n, conns, pktsPerConn, batchSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		result.Configs = append(result.Configs, row)
+	}
+	one, four := result.Configs[0], result.Configs[1]
+	if one.ModeledPPS > 0 {
+		result.ModeledSpeedup = four.ModeledPPS / one.ModeledPPS
+	}
+	if one.WallclockPPS > 0 {
+		result.WallclockSpeedX = four.WallclockPPS / one.WallclockPPS
+	}
+
+	rep := &Report{ID: "pipes", Title: "Multi-pipe aggregate throughput (1 vs 4 pipes)"}
+	rep.Printf("%-7s %12s %14s %16s  %s", "pipes", "packets", "modeled pps", "wallclock pps", "per-pipe packets")
+	for _, c := range result.Configs {
+		rep.Printf("%-7d %12d %14.3g %16.3g  %v", c.Pipes, c.Packets, c.ModeledPPS, c.WallclockPPS, c.PipePackets)
+	}
+	rep.Printf("modeled speedup  %.2fx (line-rate model; shard balance bound)", result.ModeledSpeedup)
+	rep.Printf("wallclock speedup %.2fx (simulator on this host — informational)", result.WallclockSpeedX)
+
+	art, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("pipes bench: %w", err)
+	}
+	rep.ArtifactName = "BENCH_pipes.json"
+	rep.Artifact = append(art, '\n')
+	return rep, nil
+}

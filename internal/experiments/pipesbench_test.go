@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPipesBenchShape asserts the multi-pipe acceptance claim: a 4-pipe
+// chip's modeled aggregate throughput is at least 2x a single pipe's on
+// the same workload, bounded only by shard balance, and the JSON artifact
+// round-trips.
+func TestPipesBenchShape(t *testing.T) {
+	rep, err := PipesBench(testScale, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ArtifactName != "BENCH_pipes.json" || len(rep.Artifact) == 0 {
+		t.Fatalf("missing artifact: %q (%d bytes)", rep.ArtifactName, len(rep.Artifact))
+	}
+	var res PipesBenchResult
+	if err := json.Unmarshal(rep.Artifact, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(res.Configs) != 2 || res.Configs[0].Pipes != 1 || res.Configs[1].Pipes != 4 {
+		t.Fatalf("configs = %+v, want pipes 1 and 4", res.Configs)
+	}
+	one, four := res.Configs[0], res.Configs[1]
+	if one.Packets != four.Packets || one.Packets == 0 {
+		t.Fatalf("workloads differ: %d vs %d packets", one.Packets, four.Packets)
+	}
+	if res.ModeledSpeedup < 2 {
+		t.Fatalf("modeled speedup = %.2fx, want >= 2x", res.ModeledSpeedup)
+	}
+	// The shard must actually spread: every pipe sees traffic, none more
+	// than half of it.
+	if len(four.PipePackets) != 4 {
+		t.Fatalf("pipe_packets = %v", four.PipePackets)
+	}
+	for i, n := range four.PipePackets {
+		if n == 0 || n > four.Packets/2 {
+			t.Fatalf("pipe %d carries %d of %d packets — shard skewed", i, n, four.Packets)
+		}
+	}
+	if one.Connections != four.Connections || one.Connections == 0 {
+		t.Fatalf("tracked connections differ: %d vs %d", one.Connections, four.Connections)
+	}
+}

@@ -36,6 +36,7 @@ type Filter struct {
 	pending map[uint64]int // keyHash -> index in batch
 	batch   []Event
 	first   simtime.Time // arrival of the oldest buffered event
+	fullAt  simtime.Time // arrival of the event that filled the batch
 
 	// metrics
 	Offered    uint64 // events offered
@@ -74,6 +75,9 @@ func (f *Filter) Offer(ev Event) bool {
 	}
 	f.pending[ev.KeyHash] = len(f.batch)
 	f.batch = append(f.batch, ev)
+	if len(f.batch) == f.capacity {
+		f.fullAt = ev.At
+	}
 	return true
 }
 
@@ -85,15 +89,23 @@ func (f *Filter) Full() bool { return len(f.batch) >= f.capacity }
 
 // NextFlush returns the time at which the current batch should be
 // delivered to the CPU, and whether a batch is buffered at all. A full
-// filter flushes immediately (returns the first event's own time).
+// filter flushes the moment it filled — the arrival of the event that
+// reached capacity, never earlier (flushing at the *first* event's time
+// would schedule CPU insertions before the filling event existed). When
+// the capacity flush and the timeout flush land on the same tick, the
+// earlier of the two fires; both drain the identical batch exactly once.
 func (f *Filter) NextFlush() (simtime.Time, bool) {
 	if len(f.batch) == 0 {
 		return 0, false
 	}
+	timeoutAt := f.first.Add(f.timeout)
 	if f.Full() {
-		return f.first, true
+		if f.fullAt.Before(timeoutAt) {
+			return f.fullAt, true
+		}
+		return timeoutAt, true
 	}
-	return f.first.Add(f.timeout), true
+	return timeoutAt, true
 }
 
 // Drain hands the buffered batch to the CPU and resets the filter. The

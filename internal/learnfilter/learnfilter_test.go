@@ -59,8 +59,62 @@ func TestFullTriggersImmediateFlush(t *testing.T) {
 		t.Fatal("filter should be full")
 	}
 	at, ok := f.NextFlush()
-	if !ok || at != 0 {
-		t.Fatalf("full filter NextFlush = (%v,%v), want immediate", at, ok)
+	// A full filter flushes immediately — at the arrival of the event that
+	// filled it (t=2), not at the first event's time, which would schedule
+	// CPU work before the filling event existed.
+	if !ok || at != 2 {
+		t.Fatalf("full filter NextFlush = (%v,%v), want t=2", at, ok)
+	}
+}
+
+// TestTimeoutFlushRacesCapacityFlush covers the corner where the timeout
+// flush and a capacity flush land on the same tick: the batch must flush
+// exactly once, at that tick — never at the first event's arrival time,
+// which would schedule CPU insertions before the filling event existed.
+func TestTimeoutFlushRacesCapacityFlush(t *testing.T) {
+	timeout := simtime.Duration(simtime.Millisecond)
+	f := New(4, timeout)
+	t0 := simtime.Time(10 * simtime.Microsecond)
+	tick := t0.Add(timeout)
+
+	for i := uint64(0); i < 3; i++ {
+		f.Offer(ev(i, t0))
+	}
+	if at, ok := f.NextFlush(); !ok || at != tick {
+		t.Fatalf("pre-fill NextFlush = (%v,%v), want timeout tick %v", at, ok, tick)
+	}
+	// The filling event arrives exactly at the timeout tick.
+	f.Offer(ev(99, tick))
+	if !f.Full() {
+		t.Fatal("filter should be full")
+	}
+	at, ok := f.NextFlush()
+	if !ok || at != tick {
+		t.Fatalf("racing flushes: NextFlush = (%v,%v), want the shared tick %v", at, ok, tick)
+	}
+	// Causality: no scheduled flush may precede any buffered event.
+	for _, e := range f.batch {
+		if at.Before(e.At) {
+			t.Fatalf("flush at %v precedes buffered event at %v", at, e.At)
+		}
+	}
+	batch := f.Drain()
+	if len(batch) != 4 {
+		t.Fatalf("drained %d events, want 4 (one flush, no split)", len(batch))
+	}
+	if f.Flushes != 1 || f.FullFlush != 1 {
+		t.Fatalf("flush accounting = (%d flushes, %d full), want (1, 1)", f.Flushes, f.FullFlush)
+	}
+	if _, ok := f.NextFlush(); ok || f.Len() != 0 {
+		t.Fatal("filter not empty after the single drain")
+	}
+	// A capacity fill strictly before the timeout flushes at fill time.
+	f2 := New(2, timeout)
+	f2.Offer(ev(1, t0))
+	fillAt := t0.Add(simtime.Duration(5 * simtime.Microsecond))
+	f2.Offer(ev(2, fillAt))
+	if at, ok := f2.NextFlush(); !ok || at != fillAt {
+		t.Fatalf("capacity flush = (%v,%v), want fill time %v", at, ok, fillAt)
 	}
 }
 

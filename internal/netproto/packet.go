@@ -27,6 +27,22 @@ type Packet struct {
 // IsSYN reports whether this is a bare SYN (connection-opening) segment.
 func (p *Packet) IsSYN() bool { return p.TCPFlags&FlagSYN != 0 && p.TCPFlags&FlagACK == 0 }
 
+// WireLen returns the packet's on-the-wire length in bytes under the
+// canonical framing Marshal produces: 20 B IPv4 / 40 B IPv6 network header,
+// 20 B TCP / 8 B UDP transport header, plus the payload. Hardware meters
+// and byte counters charge this length, not a fixed-header guess.
+func (p *Packet) WireLen() int {
+	ip := 40
+	if p.Tuple.Src.Is4() {
+		ip = 20
+	}
+	l4 := 8
+	if p.Tuple.Proto == ProtoTCP {
+		l4 = 20
+	}
+	return ip + l4 + len(p.Payload)
+}
+
 // IsFIN reports whether the FIN flag is set.
 func (p *Packet) IsFIN() bool { return p.TCPFlags&FlagFIN != 0 }
 

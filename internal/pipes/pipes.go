@@ -1,0 +1,328 @@
+// Package pipes models the multi-pipeline organisation of a real switching
+// ASIC. Tofino-class chips do not forward through one pipeline: the chip is
+// built from 2-4 independent pipes, each with its own match stages, SRAM
+// budget, learning filter and (logically) its own slice of the management
+// CPU. A port belongs to exactly one pipe, so every packet of a connection
+// traverses the same pipe, and each pipe keeps its own ConnTable — the
+// chip-level connection state is the disjoint union of per-pipe tables.
+//
+// The Engine reproduces that structure: N dataplane.Switch+
+// ctrlplane.ControlPlane pairs, each guarded by its own mutex, with traffic
+// sharded by a hash of the connection 5-tuple (the stand-in for "which
+// ingress port group the flow enters on"). Because the shard is by
+// connection, per-connection consistency is untouched: a connection is
+// pinned to one pipe and its ConnTable for life. VIP and DIP-pool
+// configuration is replicated to every pipe, exactly as the control plane
+// programs identical VIPTable/DIPPoolTable contents into each pipeline.
+//
+// ProcessBatch drives the pipes from one worker goroutine per pipe, which
+// both exercises the sharded path under the race detector and, on
+// multi-core hosts, lets the simulation itself scale. Aggregate Stats,
+// Metrics and SRAM figures are chip-level sums over the pipes.
+package pipes
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/asic"
+	"repro/internal/ctrlplane"
+	"repro/internal/dataplane"
+	"repro/internal/hashing"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+// Config parameterizes a multi-pipe engine. Dataplane describes the chip
+// as a whole — the engine divides the SRAM budget and the ConnTable sizing
+// target evenly across pipes (asic.Config.PerPipe).
+type Config struct {
+	// Pipes is the number of independent forwarding pipelines (1-4 on real
+	// chips; any positive count is accepted). Values below 1 mean 1.
+	Pipes int
+	// Dataplane is the chip-level data-plane configuration.
+	Dataplane dataplane.Config
+	// Controlplane configures each pipe's slice of the switch software.
+	Controlplane ctrlplane.Config
+	// ShardSeed seeds the 5-tuple -> pipe hash. Zero derives one from the
+	// data-plane seed.
+	ShardSeed uint64
+}
+
+// pipe is one forwarding pipeline: a data plane, its control-plane slice,
+// and the lock that serializes access to both (the per-pipe equivalent of
+// the single-pipe facade mutex).
+type pipe struct {
+	mu        sync.Mutex
+	dp        *dataplane.Switch
+	cp        *ctrlplane.ControlPlane
+	processed uint64 // packets this pipe has handled (for occupancy stats)
+}
+
+// Engine is a chip of N parallel pipes behind one management interface.
+type Engine struct {
+	cfg   Config
+	seed  uint64
+	pipes []*pipe
+}
+
+// Stats aggregates per-pipe hardware and software counters into chip-level
+// totals.
+type Stats struct {
+	Dataplane    dataplane.Stats
+	Controlplane ctrlplane.Metrics
+	Connections  int // sum of per-pipe software shadows
+	MemoryBytes  int // sum of per-pipe SRAM consumption
+	// PipePackets[i] is the number of packets pipe i processed; the spread
+	// across pipes is the shard balance.
+	PipePackets []uint64
+}
+
+// New builds an engine of cfg.Pipes pipes. Each pipe receives 1/N of the
+// chip SRAM and of the ConnTable sizing target; seeds are diversified per
+// pipe so the pipes' hash functions are independent, as on real hardware.
+func New(cfg Config) (*Engine, error) {
+	n := cfg.Pipes
+	if n < 1 {
+		n = 1
+	}
+	seed := cfg.ShardSeed
+	if seed == 0 {
+		seed = cfg.Dataplane.Seed ^ 0x9155_0a1d_70_4e5
+	}
+	e := &Engine{cfg: cfg, seed: seed, pipes: make([]*pipe, n)}
+	for i := range e.pipes {
+		dcfg := cfg.Dataplane
+		dcfg.Chip = dcfg.Chip.PerPipe(n)
+		dcfg.ConnTableEntries = (cfg.Dataplane.ConnTableEntries + n - 1) / n
+		dcfg.Seed = cfg.Dataplane.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
+		dp, err := dataplane.New(dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("pipes: pipe %d: %w", i, err)
+		}
+		e.pipes[i] = &pipe{dp: dp, cp: ctrlplane.New(dp, cfg.Controlplane)}
+	}
+	return e, nil
+}
+
+// NumPipes returns the number of pipes.
+func (e *Engine) NumPipes() int { return len(e.pipes) }
+
+// PipeOf returns the index of the pipe that carries connection t. The shard
+// hashes the full 5-tuple, so both directions of sharding stay stable for a
+// connection's lifetime and per-pipe ConnTables never see each other's
+// flows.
+func (e *Engine) PipeOf(t netproto.FiveTuple) int {
+	var buf [37]byte
+	return int(hashing.Hash64(e.seed, t.KeyBytes(buf[:])) % uint64(len(e.pipes)))
+}
+
+// Dataplane exposes pipe i's data plane for inspection. Callers must not
+// interleave direct mutations with concurrent ProcessBatch calls; the
+// accessor bypasses the pipe lock.
+func (e *Engine) Dataplane(i int) *dataplane.Switch { return e.pipes[i].dp }
+
+// Controlplane exposes pipe i's switch software (same caveat as Dataplane).
+func (e *Engine) Controlplane(i int) *ctrlplane.ControlPlane { return e.pipes[i].cp }
+
+// process runs one packet on pipe p. Callers hold p.mu.
+func (p *pipe) process(now simtime.Time, pkt *netproto.Packet) dataplane.Result {
+	p.cp.Advance(now)
+	res := p.dp.Process(now, pkt)
+	p.processed++
+	return p.cp.HandleResult(now, pkt, res)
+}
+
+// Process runs one packet through its owning pipe.
+func (e *Engine) Process(now simtime.Time, pkt *netproto.Packet) dataplane.Result {
+	p := e.pipes[e.PipeOf(pkt.Tuple)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.process(now, pkt)
+}
+
+// ProcessBatch runs a batch of packets through the chip: packets are
+// scattered to their owning pipes, each pipe processes its share in arrival
+// order on its own worker goroutine, and results are gathered back in input
+// order. Result i corresponds to pkts[i].
+func (e *Engine) ProcessBatch(now simtime.Time, pkts []*netproto.Packet) []dataplane.Result {
+	results := make([]dataplane.Result, len(pkts))
+	if len(pkts) == 0 {
+		return results
+	}
+	if len(e.pipes) == 1 {
+		p := e.pipes[0]
+		p.mu.Lock()
+		for i, pkt := range pkts {
+			results[i] = p.process(now, pkt)
+		}
+		p.mu.Unlock()
+		return results
+	}
+	// Scatter: per-pipe index lists preserve arrival order within a pipe.
+	shards := make([][]int, len(e.pipes))
+	for i, pkt := range pkts {
+		pi := e.PipeOf(pkt.Tuple)
+		shards[pi] = append(shards[pi], i)
+	}
+	var wg sync.WaitGroup
+	for pi, idxs := range shards {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p *pipe, idxs []int) {
+			defer wg.Done()
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			for _, i := range idxs {
+				// Disjoint index sets: each result slot is written by
+				// exactly one worker.
+				results[i] = p.process(now, pkts[i])
+			}
+		}(e.pipes[pi], idxs)
+	}
+	wg.Wait()
+	return results
+}
+
+// AddVIP announces a VIP with an initial pool on every pipe (VIP
+// configuration is replicated chip-wide). On failure the VIP is rolled back
+// from pipes already programmed, so the pipes never diverge.
+func (e *Engine) AddVIP(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP, meterBytesPerSec float64) error {
+	for i, p := range e.pipes {
+		p.mu.Lock()
+		err := p.cp.AddVIP(now, vip, pool, meterBytesPerSec)
+		p.mu.Unlock()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				q := e.pipes[j]
+				q.mu.Lock()
+				_ = q.cp.RemoveVIP(now, vip)
+				q.mu.Unlock()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveVIP withdraws a VIP from every pipe. All pipes are attempted; the
+// first error is returned.
+func (e *Engine) RemoveVIP(now simtime.Time, vip dataplane.VIP) error {
+	return e.fanout(func(p *pipe) error { return p.cp.RemoveVIP(now, vip) })
+}
+
+// AddDIP adds a backend to vip's pool on every pipe with PCC.
+func (e *Engine) AddDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
+	return e.fanout(func(p *pipe) error { return p.cp.AddDIP(now, vip, dip) })
+}
+
+// RemoveDIP removes a backend from vip's pool on every pipe with PCC.
+func (e *Engine) RemoveDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
+	return e.fanout(func(p *pipe) error { return p.cp.RemoveDIP(now, vip, dip) })
+}
+
+// RequestUpdate replaces vip's pool wholesale on every pipe with PCC.
+func (e *Engine) RequestUpdate(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP) error {
+	return e.fanout(func(p *pipe) error { return p.cp.RequestUpdate(now, vip, pool) })
+}
+
+// fanout applies op to every pipe under its lock, returning the first
+// error after attempting all pipes (config errors are deterministic across
+// pipes because VIP-level state is replicated).
+func (e *Engine) fanout(op func(p *pipe) error) error {
+	var first error
+	for _, p := range e.pipes {
+		p.mu.Lock()
+		err := op(p)
+		p.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CurrentPool returns the pool new connections map to (identical on every
+// pipe; read from pipe 0).
+func (e *Engine) CurrentPool(vip dataplane.VIP) ([]dataplane.DIP, error) {
+	p := e.pipes[0]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cp.CurrentPool(vip)
+}
+
+// EndConnection tells the owning pipe that a connection terminated.
+func (e *Engine) EndConnection(now simtime.Time, t netproto.FiveTuple) {
+	p := e.pipes[e.PipeOf(t)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cp.EndConnection(now, t)
+}
+
+// Advance runs background work due at or before now on every pipe.
+func (e *Engine) Advance(now simtime.Time) {
+	for _, p := range e.pipes {
+		p.mu.Lock()
+		p.cp.Advance(now)
+		p.mu.Unlock()
+	}
+}
+
+// NextEventTime returns the earliest time any pipe has background work due.
+func (e *Engine) NextEventTime() (simtime.Time, bool) {
+	var best simtime.Time
+	have := false
+	for _, p := range e.pipes {
+		p.mu.Lock()
+		at, ok := p.cp.NextEventTime()
+		p.mu.Unlock()
+		if ok && (!have || at.Before(best)) {
+			best, have = at, true
+		}
+	}
+	return best, have
+}
+
+// Stats returns chip-level totals summed over the pipes.
+func (e *Engine) Stats() Stats {
+	out := Stats{PipePackets: make([]uint64, len(e.pipes))}
+	for i, p := range e.pipes {
+		p.mu.Lock()
+		ds := p.dp.Stats()
+		ms := p.cp.Metrics()
+		out.Connections += p.cp.TrackedConns()
+		out.MemoryBytes += p.dp.Memory().Total()
+		out.PipePackets[i] = p.processed
+		p.mu.Unlock()
+		out.Dataplane.Add(ds)
+		out.Controlplane.Add(ms)
+	}
+	return out
+}
+
+// Memory returns the chip-level SRAM breakdown summed over pipes.
+func (e *Engine) Memory() dataplane.MemoryBreakdown {
+	var m dataplane.MemoryBreakdown
+	for _, p := range e.pipes {
+		p.mu.Lock()
+		pm := p.dp.Memory()
+		p.mu.Unlock()
+		m.Add(pm)
+	}
+	return m
+}
+
+// Used returns the chip-level allocated hardware resources summed over
+// pipes (Table 2 classes).
+func (e *Engine) Used() asic.Resources {
+	var r asic.Resources
+	for _, p := range e.pipes {
+		p.mu.Lock()
+		u := p.dp.Chip().Used()
+		p.mu.Unlock()
+		r.Add(u)
+	}
+	return r
+}

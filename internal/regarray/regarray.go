@@ -189,4 +189,8 @@ func (b *MeterBank) Len() int { return len(b.meters) }
 
 // SRAMBytes returns the modeled SRAM cost: each meter holds two buckets and
 // a timestamp plus configuration, ~32 bytes of stateful memory.
-func (b *MeterBank) SRAMBytes() int { return len(b.meters) * 32 }
+func (b *MeterBank) SRAMBytes() int { return BankSRAMBytes(len(b.meters)) }
+
+// BankSRAMBytes returns the SRAM cost of a bank of n meters without
+// building it, for budget checks ahead of allocation.
+func BankSRAMBytes(n int) int { return n * 32 }

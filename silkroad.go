@@ -30,6 +30,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/health"
 	"repro/internal/netproto"
+	"repro/internal/pipes"
 	"repro/internal/simtime"
 )
 
@@ -89,6 +90,14 @@ func Pool(addrs ...string) []DIP {
 type Config struct {
 	Dataplane    dataplane.Config
 	Controlplane ctrlplane.Config
+	// Pipes is the number of independent forwarding pipelines the chip runs
+	// (Tofino-class ASICs forward through 2-4 pipes, each with its own
+	// stages and SRAM share). Zero or one selects the classic single-pipe
+	// switch. With more pipes, traffic is sharded by 5-tuple hash so each
+	// connection is pinned to one pipe's ConnTable, the chip SRAM budget and
+	// ConnTable sizing target divide evenly across pipes, and Stats reports
+	// chip-level aggregates.
+	Pipes int
 }
 
 // Defaults returns the paper's operating point for a switch provisioned
@@ -113,18 +122,35 @@ type Stats struct {
 // Switch is a SilkRoad load-balancing switch: the ASIC data plane plus its
 // management-CPU software, advanced together in virtual time.
 //
-// Switch methods are safe for concurrent use: the facade serializes calls
-// the way the single pipeline and the single switch CPU would. (The inner
+// Switch methods are safe for concurrent use: the single-pipe facade
+// serializes calls the way the single pipeline and the single switch CPU
+// would, and the multi-pipe facade (Config.Pipes > 1) locks per pipe, so
+// packets of different pipes proceed in parallel. (The inner
 // internal/dataplane and internal/ctrlplane types are not independently
 // thread-safe.)
 type Switch struct {
 	mu sync.Mutex
 	dp *dataplane.Switch
 	cp *ctrlplane.ControlPlane
+
+	// multi is non-nil when the switch runs more than one pipe; dp/cp are
+	// nil in that mode and every operation routes through the engine.
+	multi *pipes.Engine
 }
 
 // NewSwitch builds a switch from cfg.
 func NewSwitch(cfg Config) (*Switch, error) {
+	if cfg.Pipes > 1 {
+		eng, err := pipes.New(pipes.Config{
+			Pipes:        cfg.Pipes,
+			Dataplane:    cfg.Dataplane,
+			Controlplane: cfg.Controlplane,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Switch{multi: eng}, nil
+	}
 	dp, err := dataplane.New(cfg.Dataplane)
 	if err != nil {
 		return nil, err
@@ -132,17 +158,44 @@ func NewSwitch(cfg Config) (*Switch, error) {
 	return &Switch{dp: dp, cp: ctrlplane.New(dp, cfg.Controlplane)}, nil
 }
 
-// Dataplane exposes the underlying data plane (advanced use: resource
-// reports, direct table inspection).
-func (s *Switch) Dataplane() *dataplane.Switch { return s.dp }
+// Pipes returns the number of forwarding pipelines the switch runs.
+func (s *Switch) Pipes() int {
+	if s.multi != nil {
+		return s.multi.NumPipes()
+	}
+	return 1
+}
 
-// Controlplane exposes the underlying switch software.
-func (s *Switch) Controlplane() *ctrlplane.ControlPlane { return s.cp }
+// Engine exposes the multi-pipe engine, or nil for a single-pipe switch
+// (advanced use: per-pipe inspection, shard mapping).
+func (s *Switch) Engine() *pipes.Engine { return s.multi }
+
+// Dataplane exposes the underlying data plane (advanced use: resource
+// reports, direct table inspection). On a multi-pipe switch it returns the
+// first pipe's data plane; use Engine for the others.
+func (s *Switch) Dataplane() *dataplane.Switch {
+	if s.multi != nil {
+		return s.multi.Dataplane(0)
+	}
+	return s.dp
+}
+
+// Controlplane exposes the underlying switch software. On a multi-pipe
+// switch it returns the first pipe's slice; use Engine for the others.
+func (s *Switch) Controlplane() *ctrlplane.ControlPlane {
+	if s.multi != nil {
+		return s.multi.Controlplane(0)
+	}
+	return s.cp
+}
 
 // AddVIP announces a VIP with an initial DIP pool. A meter rate of 0
 // leaves the VIP unmetered; a positive rate (bytes/s) attaches a hardware
 // two-rate three-color meter for performance isolation.
 func (s *Switch) AddVIP(now Time, vip VIP, pool []DIP) error {
+	if s.multi != nil {
+		return s.multi.AddVIP(now, vip, pool, 0)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.AddVIP(now, vip, pool, 0)
@@ -150,6 +203,9 @@ func (s *Switch) AddVIP(now Time, vip VIP, pool []DIP) error {
 
 // AddVIPMetered announces a VIP with a committed-rate meter.
 func (s *Switch) AddVIPMetered(now Time, vip VIP, pool []DIP, meterBytesPerSec float64) error {
+	if s.multi != nil {
+		return s.multi.AddVIP(now, vip, pool, meterBytesPerSec)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.AddVIP(now, vip, pool, meterBytesPerSec)
@@ -157,6 +213,9 @@ func (s *Switch) AddVIPMetered(now Time, vip VIP, pool []DIP, meterBytesPerSec f
 
 // RemoveVIP withdraws a VIP.
 func (s *Switch) RemoveVIP(now Time, vip VIP) error {
+	if s.multi != nil {
+		return s.multi.RemoveVIP(now, vip)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.RemoveVIP(now, vip)
@@ -165,6 +224,9 @@ func (s *Switch) RemoveVIP(now Time, vip VIP) error {
 // AddDIP adds a backend to vip's pool with full per-connection
 // consistency (the 3-step update of §4.3 runs under the hood).
 func (s *Switch) AddDIP(now Time, vip VIP, dip DIP) error {
+	if s.multi != nil {
+		return s.multi.AddDIP(now, vip, dip)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.AddDIP(now, vip, dip)
@@ -172,6 +234,9 @@ func (s *Switch) AddDIP(now Time, vip VIP, dip DIP) error {
 
 // RemoveDIP removes a backend from vip's pool with PCC.
 func (s *Switch) RemoveDIP(now Time, vip VIP, dip DIP) error {
+	if s.multi != nil {
+		return s.multi.RemoveDIP(now, vip, dip)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.RemoveDIP(now, vip, dip)
@@ -179,6 +244,9 @@ func (s *Switch) RemoveDIP(now Time, vip VIP, dip DIP) error {
 
 // UpdatePool replaces vip's pool wholesale with PCC.
 func (s *Switch) UpdatePool(now Time, vip VIP, pool []DIP) error {
+	if s.multi != nil {
+		return s.multi.RequestUpdate(now, vip, pool)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.RequestUpdate(now, vip, pool)
@@ -186,6 +254,9 @@ func (s *Switch) UpdatePool(now Time, vip VIP, pool []DIP) error {
 
 // CurrentPool returns the pool new connections map to.
 func (s *Switch) CurrentPool(vip VIP) ([]DIP, error) {
+	if s.multi != nil {
+		return s.multi.CurrentPool(vip)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.CurrentPool(vip)
@@ -193,11 +264,33 @@ func (s *Switch) CurrentPool(vip VIP) ([]DIP, error) {
 
 // Process runs one decoded packet through the switch: background CPU work
 // due by now executes first, then the ASIC pipeline, then any CPU
-// arbitration the pipeline requested (redirected SYNs).
+// arbitration the pipeline requested (redirected SYNs). On a multi-pipe
+// switch the packet is routed to its connection's pipe.
 func (s *Switch) Process(now Time, pkt *Packet) Result {
+	if s.multi != nil {
+		return s.multi.Process(now, pkt)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.process(now, pkt)
+}
+
+// ProcessBatch runs a batch of decoded packets through the switch and
+// returns one Result per packet, in input order. On a multi-pipe switch the
+// batch is sharded by connection and the pipes run in parallel on worker
+// goroutines; on a single-pipe switch the batch is processed in order under
+// one lock acquisition.
+func (s *Switch) ProcessBatch(now Time, pkts []*Packet) []Result {
+	if s.multi != nil {
+		return s.multi.ProcessBatch(now, pkts)
+	}
+	results := make([]Result, len(pkts))
+	s.mu.Lock()
+	for i, pkt := range pkts {
+		results[i] = s.process(now, pkt)
+	}
+	s.mu.Unlock()
+	return results
 }
 
 func (s *Switch) process(now Time, pkt *Packet) Result {
@@ -215,9 +308,7 @@ func (s *Switch) Forward(now Time, raw []byte) (DIP, error) {
 	if err := netproto.Decode(raw, &pkt); err != nil {
 		return DIP{}, err
 	}
-	s.mu.Lock()
-	res := s.process(now, &pkt)
-	s.mu.Unlock()
+	res := s.Process(now, &pkt)
 	switch res.Verdict {
 	case dataplane.VerdictForward:
 		if err := netproto.RewriteDst(raw, res.DIP); err != nil {
@@ -228,6 +319,8 @@ func (s *Switch) Forward(now Time, raw []byte) (DIP, error) {
 		return DIP{}, fmt.Errorf("silkroad: %v is not a VIP", dataplane.VIPOf(pkt.Tuple))
 	case dataplane.VerdictMeterDrop:
 		return DIP{}, fmt.Errorf("silkroad: packet dropped by VIP meter")
+	case dataplane.VerdictNoBackend:
+		return DIP{}, fmt.Errorf("silkroad: VIP %v has no backends", dataplane.VIPOf(pkt.Tuple))
 	default:
 		return DIP{}, fmt.Errorf("silkroad: unresolved verdict %v", res.Verdict)
 	}
@@ -242,9 +335,7 @@ func (s *Switch) ForwardIPIP(now Time, raw []byte, selfAddr netip.Addr) ([]byte,
 	if err := netproto.Decode(raw, &pkt); err != nil {
 		return nil, DIP{}, err
 	}
-	s.mu.Lock()
-	res := s.process(now, &pkt)
-	s.mu.Unlock()
+	res := s.Process(now, &pkt)
 	if res.Verdict != dataplane.VerdictForward {
 		return nil, DIP{}, fmt.Errorf("silkroad: unresolved verdict %v", res.Verdict)
 	}
@@ -258,6 +349,10 @@ func (s *Switch) ForwardIPIP(now Time, raw []byte, selfAddr netip.Addr) ([]byte,
 // EndConnection tells the switch a connection terminated, freeing its
 // ConnTable entry and possibly retiring a pool version.
 func (s *Switch) EndConnection(now Time, t FiveTuple) {
+	if s.multi != nil {
+		s.multi.EndConnection(now, t)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cp.EndConnection(now, t)
@@ -266,6 +361,10 @@ func (s *Switch) EndConnection(now Time, t FiveTuple) {
 // Advance runs background work (learning-filter drains, CPU insertions,
 // update state transitions, aging) due at or before now.
 func (s *Switch) Advance(now Time) {
+	if s.multi != nil {
+		s.multi.Advance(now)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cp.Advance(now)
@@ -273,6 +372,9 @@ func (s *Switch) Advance(now Time) {
 
 // NextEventTime returns when the switch next has background work due.
 func (s *Switch) NextEventTime() (Time, bool) {
+	if s.multi != nil {
+		return s.multi.NextEventTime()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.NextEventTime()
@@ -300,8 +402,19 @@ func (m lockedManager) RemoveDIP(now Time, vip VIP, dip DIP) error {
 	return m.s.RemoveDIP(now, vip, dip)
 }
 
-// Stats returns combined counters.
+// Stats returns combined counters. On a multi-pipe switch every field is
+// the chip-level aggregate over the pipes (sums; MaxInsertQueue is the
+// per-pipe maximum).
 func (s *Switch) Stats() Stats {
+	if s.multi != nil {
+		agg := s.multi.Stats()
+		return Stats{
+			Dataplane:    agg.Dataplane,
+			Controlplane: agg.Controlplane,
+			Connections:  agg.Connections,
+			MemoryBytes:  agg.MemoryBytes,
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
