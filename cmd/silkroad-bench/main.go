@@ -27,7 +27,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "run-time scale knob (>=0.05)")
 	seed := flag.Int64("seed", 1, "master random seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metrics := flag.Bool("metrics", false, "attach a telemetry registry and dump snapshot JSON next to BENCH files")
 	flag.Parse()
+	experiments.CollectTelemetry = *metrics
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -68,6 +70,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("(wrote %s)\n", rep.ArtifactName)
+		}
+		if rep.MetricsName != "" {
+			if err := os.WriteFile(rep.MetricsName, rep.Metrics, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "silkroad-bench: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(wrote %s)\n", rep.MetricsName)
 		}
 		fmt.Printf("(%s took %.1fs)\n\n", r.ID, time.Since(start).Seconds())
 	}

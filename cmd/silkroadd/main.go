@@ -15,10 +15,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -37,6 +39,7 @@ func main() {
 	mode := flag.String("mode", "rewrite", "forwarding mode: rewrite (DNAT) or ipip (encapsulate, DSR)")
 	selfAddr := flag.String("self", "192.0.2.1", "outer source address for -mode ipip")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval")
+	metricsAddr := flag.String("metrics", "", "HTTP address serving Prometheus metrics at /metrics (e.g. :9090); empty disables")
 	flag.Parse()
 
 	vipAP, err := netip.ParseAddrPort(*vipFlag)
@@ -52,7 +55,10 @@ func main() {
 		pool = append(pool, ap)
 	}
 
-	sw, err := silkroad.NewSwitch(silkroad.Defaults(*conns))
+	cfg := silkroad.Defaults(*conns)
+	telemetry := silkroad.NewTelemetry()
+	cfg.Telemetry = telemetry
+	sw, err := silkroad.NewSwitch(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,6 +90,20 @@ func main() {
 
 	start := time.Now()
 	now := func() silkroad.Time { return silkroad.Time(time.Since(start).Nanoseconds()) }
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := silkroad.WritePrometheus(w, telemetry.Snapshot(now())); err != nil {
+				log.Printf("silkroadd: metrics write: %v", err)
+			}
+		})
+		go func() {
+			log.Printf("silkroadd: serving Prometheus metrics on http://%s/metrics", *metricsAddr)
+			log.Fatalf("silkroadd: metrics server: %v", http.ListenAndServe(*metricsAddr, mux))
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -128,7 +148,22 @@ func main() {
 			payload = pkt
 		}
 		if err != nil {
-			log.Printf("silkroadd: %v", err)
+			// Expected data-path failures carry package sentinels; anything
+			// else is a real fault and logged at full detail.
+			switch {
+			case errors.Is(err, silkroad.ErrNotVIP):
+				log.Printf("silkroadd: drop: %v", err)
+			case errors.Is(err, silkroad.ErrMeterDrop):
+				// Meter drops are the isolation mechanism working as designed
+				// under overload; keep the log line terse.
+				log.Printf("silkroadd: meter drop for %v", decoded.Tuple.Dst)
+			case errors.Is(err, silkroad.ErrNoBackend):
+				log.Printf("silkroadd: drop (pool empty): %v", err)
+			case errors.Is(err, silkroad.ErrUndecodable):
+				log.Printf("silkroadd: undecodable payload (%d B): %v", n, err)
+			default:
+				log.Printf("silkroadd: forward error: %v", err)
+			}
 			continue
 		}
 		dst := net.UDPAddrFromAddrPort(dip)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net/netip"
@@ -14,8 +15,11 @@ import (
 
 func main() {
 	// A switch provisioned for 100K concurrent connections (the paper's
-	// prototype fits 10M on a real 6.4 Tbps ASIC).
-	sw, err := silkroad.NewSwitch(silkroad.Defaults(100_000))
+	// prototype fits 10M on a real 6.4 Tbps ASIC), with a telemetry
+	// registry attached so we can inspect what the pipeline did.
+	cfg := silkroad.Defaults(100_000)
+	cfg.Telemetry = silkroad.NewTelemetry()
+	sw, err := silkroad.NewSwitch(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,4 +75,18 @@ func main() {
 	fmt.Printf("\nswitch stats: %d connections tracked, %d inserted by CPU, %d updates completed, %d B SRAM\n",
 		st.Connections, st.Controlplane.Inserted, st.Controlplane.UpdatesCompleted, st.MemoryBytes)
 	fmt.Println("per-connection consistency held for every established connection.")
+
+	// The raw-packet path reports failures as wrapped sentinel errors.
+	stray := &silkroad.Packet{Tuple: conns[0]}
+	stray.Tuple.Dst = netip.MustParseAddr("30.0.0.1")
+	raw, _ := stray.Marshal(nil)
+	if _, err := sw.Forward(now, raw); errors.Is(err, silkroad.ErrNotVIP) {
+		fmt.Printf("forwarding to a non-VIP fails cleanly: %v\n", err)
+	}
+
+	// The telemetry registry saw every event above; §4.2's pending window
+	// (SYN seen -> ConnTable entry committed) is one of its histograms.
+	snap := sw.Telemetry().Snapshot(now)
+	pw := snap.Histograms["silkroad_insert_pending_window_seconds"]
+	fmt.Printf("pending windows: %d inserts, mean %.2f ms\n", pw.Count, pw.Mean()*1e3)
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/netproto"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Advance runs all control-plane work due at or before now: learning-filter
@@ -63,14 +64,32 @@ func (cp *ControlPlane) drainFilter(flushAt simtime.Time) {
 	}
 }
 
+// traceInsert emits one OnInsert event (no-op when untraced).
+func (cp *ControlPlane) traceInsert(now simtime.Time, vip dataplane.VIP,
+	kind telemetry.InsertKind, outcome telemetry.InsertOutcome, arrivedAt simtime.Time) {
+	if cp.tracer == nil {
+		return
+	}
+	cp.tracer.OnInsert(telemetry.InsertEvent{
+		Now:        now,
+		Pipe:       cp.pipe,
+		VIP:        cp.sw.VIPTelemetry(vip),
+		Kind:       kind,
+		Outcome:    outcome,
+		ArrivedAt:  arrivedAt,
+		QueueDepth: len(cp.queue),
+	})
+}
+
 // install performs one ConnTable insertion (CPU side).
 func (cp *ControlPlane) install(pi pendingInsert) {
 	ev := pi.ev
+	vip := dataplane.VIPOf(ev.Tuple)
 	if sh, seen := cp.conns[ev.KeyHash]; seen && sh.installed {
 		cp.metrics.DuplicateLearns++
+		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertDuplicate, ev.At)
 		return
 	}
-	vip := dataplane.VIPOf(ev.Tuple)
 	vc, ok := cp.vips[vip]
 	if !ok {
 		return // VIP withdrawn while the event sat in the queue
@@ -95,13 +114,16 @@ func (cp *ControlPlane) install(pi pendingInsert) {
 		cp.metrics.Inserted++
 		cp.metrics.InsertDelaySum += pi.completeAt.Sub(ev.At)
 		cp.scheduleAging(ev.KeyHash, pi.completeAt)
+		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertOK, ev.At)
 	case err == cuckoo.ErrDuplicate:
 		cp.metrics.DuplicateLearns++
+		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertDuplicate, ev.At)
 	case err == cuckoo.ErrTableFull:
 		// §7: ConnTable acts as a cache; overflow connections stay
 		// unpinned (each packet re-resolves through VIPTable) unless a
 		// software tier picks them up through OnOverflow.
 		cp.metrics.Overflows++
+		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertOverflow, ev.At)
 		if cp.cfg.OnOverflow != nil {
 			if dip, derr := cp.sw.SelectDIP(vip, ev.Version, ev.Tuple); derr == nil {
 				cp.cfg.OnOverflow(pi.completeAt, ev.Tuple, dip)
@@ -188,7 +210,7 @@ func (cp *ControlPlane) resolveConnSYN(now simtime.Time, pkt *netproto.Packet, r
 	if pv, pending := cp.pendingVersion(res.KeyHash); pending {
 		ver = pv
 	}
-	return cp.installInline(now, pkt.Tuple, res, vc, ver)
+	return cp.installInline(now, pkt.Tuple, res, vc, ver, telemetry.InsertDigestFP)
 }
 
 // pendingVersion returns the learned-but-not-yet-installed version for a
@@ -207,7 +229,9 @@ func (cp *ControlPlane) pendingVersion(keyHash uint64) (uint32, bool) {
 
 // installInline inserts tuple->ver on the CPU's fast path (redirect
 // handling) and returns the forwarding result for the re-injected packet.
-func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple, res dataplane.Result, vc *vipCtl, ver uint32) dataplane.Result {
+// kind records which arbitration (digest or bloom false positive) put the
+// insertion on the fast path.
+func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple, res dataplane.Result, vc *vipCtl, ver uint32, kind telemetry.InsertKind) dataplane.Result {
 	dip, err := cp.sw.SelectDIP(vc.vip, ver, tuple)
 	if err != nil {
 		res.Verdict = dataplane.VerdictForward
@@ -227,10 +251,13 @@ func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple
 		vc.connsPerVer[ver]++
 		cp.metrics.Inserted++
 		cp.scheduleAging(res.KeyHash, now)
+		cp.traceInsert(now, vc.vip, kind, telemetry.InsertOK, now)
 	case cuckoo.ErrTableFull:
 		cp.metrics.Overflows++
+		cp.traceInsert(now, vc.vip, kind, telemetry.InsertOverflow, now)
 	case cuckoo.ErrDuplicate:
 		cp.metrics.DuplicateLearns++
+		cp.traceInsert(now, vc.vip, kind, telemetry.InsertDuplicate, now)
 	}
 	res.Verdict = dataplane.VerdictForward
 	res.Version = ver
@@ -275,7 +302,7 @@ func (cp *ControlPlane) resolveTransitSYN(now simtime.Time, pkt *netproto.Packet
 	cp.metrics.BloomFPsResolved++
 	cp.chargeCPU(now)
 	res.TransitHit = false
-	return cp.installInline(now, pkt.Tuple, res, vc, vc.curVer)
+	return cp.installInline(now, pkt.Tuple, res, vc, vc.curVer, telemetry.InsertBloomFP)
 }
 
 // chargeCPU accounts one out-of-band insertion's worth of CPU time.

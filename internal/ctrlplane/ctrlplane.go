@@ -21,6 +21,7 @@ import (
 	"repro/internal/learnfilter"
 	"repro/internal/netproto"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/timewheel"
 )
 
@@ -196,6 +197,11 @@ type ControlPlane struct {
 	activeUpdates int
 	wheel         *timewheel.Wheel // aging timers (nil when aging disabled)
 
+	// tracer is shared with the data plane (read from it at construction):
+	// both planes report into one telemetry sink, labelled with one pipe.
+	tracer telemetry.Tracer
+	pipe   int
+
 	metrics Metrics
 }
 
@@ -205,10 +211,12 @@ func New(sw *dataplane.Switch, cfg Config) *ControlPlane {
 		panic("ctrlplane: InsertRate must be positive")
 	}
 	cp := &ControlPlane{
-		sw:    sw,
-		cfg:   cfg,
-		conns: make(map[uint64]*connShadow),
-		vips:  make(map[dataplane.VIP]*vipCtl),
+		sw:     sw,
+		cfg:    cfg,
+		conns:  make(map[uint64]*connShadow),
+		vips:   make(map[dataplane.VIP]*vipCtl),
+		tracer: sw.Tracer(),
+		pipe:   sw.PipeIndex(),
 	}
 	if cfg.AgingTimeout > 0 {
 		gran := cfg.AgingTimeout / 8
@@ -386,6 +394,12 @@ func (cp *ControlPlane) RequestUpdate(now simtime.Time, vip dataplane.VIP, pool 
 		return ErrResilientVIP
 	}
 	cp.metrics.UpdatesRequested++
+	if cp.tracer != nil {
+		cp.tracer.OnUpdateStep(telemetry.UpdateStepEvent{
+			Now: now, Pipe: cp.pipe, VIP: cp.sw.VIPTelemetry(vip),
+			Step: telemetry.StepRequested,
+		})
+	}
 	if samePool(pool, vc.targetPool()) {
 		cp.metrics.UpdatesCoalesced++
 		return nil

@@ -3,7 +3,20 @@ package ctrlplane
 import (
 	"repro/internal/dataplane"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
+
+// traceUpdateStep emits one OnUpdateStep event (no-op when untraced).
+func (cp *ControlPlane) traceUpdateStep(now simtime.Time, vc *vipCtl,
+	step telemetry.UpdateStep, reqAt, execAt simtime.Time) {
+	if cp.tracer == nil {
+		return
+	}
+	cp.tracer.OnUpdateStep(telemetry.UpdateStepEvent{
+		Now: now, Pipe: cp.pipe, VIP: cp.sw.VIPTelemetry(vc.vip),
+		Step: step, ReqAt: reqAt, ExecAt: execAt,
+	})
+}
 
 // maybeStartUpdate begins the next queued update if the VIP is idle.
 func (cp *ControlPlane) maybeStartUpdate(now simtime.Time, vc *vipCtl) {
@@ -64,6 +77,9 @@ func (cp *ControlPlane) maybeStartUpdate(now simtime.Time, vc *vipCtl) {
 			panic("ctrlplane: SetCurrentVersion: " + err.Error())
 		}
 		cp.metrics.UpdatesCompleted++
+		// The ablation swaps instantly: the whole 3-step update collapses
+		// into one zero-duration transition.
+		cp.traceUpdateStep(now, vc, telemetry.StepDone, now, now)
 		cp.retireIfIdle(vc, prev)
 		cp.maybeStartUpdate(now, vc)
 		return
@@ -81,6 +97,7 @@ func (cp *ControlPlane) maybeStartUpdate(now simtime.Time, vc *vipCtl) {
 	if err := cp.sw.SetRecording(vc.vip, true); err != nil {
 		panic("ctrlplane: SetRecording: " + err.Error())
 	}
+	cp.traceUpdateStep(now, vc, telemetry.StepRecording, vc.treq, 0)
 }
 
 // chooseVersion picks the version number for a new pool: reuse an active
@@ -186,6 +203,7 @@ func (cp *ControlPlane) checkTransitions(now simtime.Time) bool {
 				vc.curVer = vc.pendingNewVer
 				vc.state = updTransition
 				vc.texec = now
+				cp.traceUpdateStep(now, vc, telemetry.StepTransition, vc.treq, vc.texec)
 				changed = true
 			}
 		case updTransition:
@@ -211,6 +229,13 @@ func (cp *ControlPlane) finishUpdate(now simtime.Time, vc *vipCtl) {
 	if err := cp.sw.EndTransition(vc.vip); err != nil {
 		panic("ctrlplane: EndTransition: " + err.Error())
 	}
+	// An update force-finished while still recording never reached t_exec;
+	// report the finish time as its transition point.
+	texec := vc.texec
+	if vc.state == updRecording {
+		texec = now
+	}
+	cp.traceUpdateStep(now, vc, telemetry.StepDone, vc.treq, texec)
 	vc.state = updIdle
 	cp.activeUpdates--
 	if cp.activeUpdates == 0 {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/netproto"
 	"repro/internal/regarray"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // VIP identifies a load-balanced service: a virtual address, port and
@@ -49,6 +50,11 @@ func VIPOf(t netproto.FiveTuple) VIP {
 	return VIP{Addr: t.Dst, Port: t.DstPort, Proto: t.Proto}
 }
 
+// TelemetryKey converts the VIP to its telemetry-series key.
+func (v VIP) TelemetryKey() telemetry.VIPKey {
+	return telemetry.VIPKey{Addr: v.Addr, Port: v.Port, Proto: uint8(v.Proto)}
+}
+
 // DIP is a direct (backend) address: IP and port.
 type DIP = netip.AddrPort
 
@@ -64,6 +70,13 @@ type Config struct {
 	LearnFilterTimeout  simtime.Duration // 1 ms
 	DisableTransit      bool             // ablation: SilkRoad w/o TransitTable
 	Seed                uint64
+	// Tracer receives telemetry events from this switch and the components
+	// it owns (learning filter, control plane). Nil disables tracing at the
+	// cost of one branch per event site.
+	Tracer telemetry.Tracer
+	// Pipe is this switch's pipeline index on the chip, labelling its
+	// telemetry events (0 for a single-pipe switch).
+	Pipe int
 }
 
 // DefaultConfig returns the paper's operating point for a switch expected
@@ -182,7 +195,8 @@ type vipState struct {
 	inUpdate  bool // step 2: misses consult TransitTable
 	recording bool // step 1: misses are inserted into TransitTable
 	pools     map[uint32]poolRow
-	meter     *regarray.Meter // nil = unmetered
+	meter     *regarray.Meter      // nil = unmetered
+	tel       *telemetry.VIPSeries // nil when untraced
 }
 
 // Switch is one SilkRoad data plane instance on a chip.
@@ -198,6 +212,9 @@ type Switch struct {
 	connSeed   uint64 // key hashing
 	digestSeed uint64
 	dipSeed    uint64 // DIP selection within a pool
+
+	tracer telemetry.Tracer // nil = untraced
+	pipe   int
 
 	stats Stats
 }
@@ -232,6 +249,9 @@ func New(cfg Config) (*Switch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataplane: learning filter: %w", err)
 	}
+	if cfg.Tracer != nil {
+		learn.SetTracer(cfg.Tracer, cfg.Pipe)
+	}
 	return &Switch{
 		cfg:        cfg,
 		chip:       chip,
@@ -242,6 +262,8 @@ func New(cfg Config) (*Switch, error) {
 		connSeed:   cfg.Seed ^ 0x5eed_c0_11,
 		digestSeed: cfg.Seed ^ 0xd16e_57,
 		dipSeed:    cfg.Seed ^ 0xd1_90_01,
+		tracer:     cfg.Tracer,
+		pipe:       cfg.Pipe,
 	}, nil
 }
 
@@ -261,6 +283,22 @@ func (s *Switch) LearnFilter() *learnfilter.Filter { return s.learn }
 // Stats returns a copy of the hardware counters.
 func (s *Switch) Stats() Stats { return s.stats }
 
+// Tracer returns the telemetry tracer this switch reports to (nil when
+// untraced). The control plane reads it so both planes share one sink.
+func (s *Switch) Tracer() telemetry.Tracer { return s.tracer }
+
+// PipeIndex returns the pipeline index labelling this switch's telemetry.
+func (s *Switch) PipeIndex() int { return s.pipe }
+
+// VIPTelemetry returns the telemetry series of an installed VIP (nil when
+// the VIP is unknown or the switch is untraced).
+func (s *Switch) VIPTelemetry(vip VIP) *telemetry.VIPSeries {
+	if vs, ok := s.vips[vip]; ok {
+		return vs.tel
+	}
+	return nil
+}
+
 // KeyHash returns the 64-bit connection key hash used for table addressing
 // and bloom membership.
 func (s *Switch) KeyHash(t netproto.FiveTuple) uint64 {
@@ -279,15 +317,42 @@ func (s *Switch) ConnDigest(t netproto.FiveTuple) uint32 {
 // forwarding decision. It never blocks and performs no CPU-side work; it
 // may enqueue a learn event or redirect a SYN to the CPU.
 func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
+	res, vs := s.process(now, pkt)
+	if s.tracer != nil {
+		var tel *telemetry.VIPSeries
+		if vs != nil {
+			tel = vs.tel
+		}
+		if res.Verdict == VerdictMeterDrop {
+			s.tracer.OnMeterDrop(telemetry.MeterDropEvent{
+				Now: now, Pipe: s.pipe, VIP: tel, WireLen: pkt.WireLen(),
+			})
+		}
+		s.tracer.OnVerdict(telemetry.VerdictEvent{
+			Now:     now,
+			Pipe:    s.pipe,
+			VIP:     tel,
+			Verdict: telemetry.Verdict(res.Verdict),
+			WireLen: pkt.WireLen(),
+			ConnHit: res.ConnHit,
+			Learned: res.Learned,
+		})
+	}
+	return res
+}
+
+// process is the pipeline body; it also returns the matched VIP state so
+// the tracing wrapper can label the event without a second map lookup.
+func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipState) {
 	s.stats.Packets++
 	vs, ok := s.vips[VIPOf(pkt.Tuple)]
 	if !ok {
 		s.stats.NoVIP++
-		return Result{Verdict: VerdictNoVIP}
+		return Result{Verdict: VerdictNoVIP}, nil
 	}
 	if vs.meter != nil && vs.meter.Mark(now, pkt.WireLen()) == regarray.Red {
 		s.stats.MeterDrops++
-		return Result{Verdict: VerdictMeterDrop}
+		return Result{Verdict: VerdictMeterDrop}, vs
 	}
 	keyHash := s.KeyHash(pkt.Tuple)
 	digest := s.ConnDigest(pkt.Tuple)
@@ -304,7 +369,7 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 			// SYN or not — drop instead of emitting a zero destination.
 			s.stats.NoBackend++
 			res.Verdict = VerdictNoBackend
-			return res
+			return res, vs
 		}
 		if pkt.IsSYN() {
 			// A connection-opening packet should miss; a hit suggests a
@@ -312,10 +377,10 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 			// connection). The CPU arbitrates using its 5-tuple shadow.
 			s.stats.SYNRedirectConn++
 			res.Verdict = VerdictRedirectSYNConn
-			return res
+			return res, vs
 		}
 		res.Verdict = VerdictForward
-		return res
+		return res, vs
 	}
 	s.stats.ConnMisses++
 
@@ -337,10 +402,10 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 				if !res.DIP.IsValid() {
 					s.stats.NoBackend++
 					res.Verdict = VerdictNoBackend
-					return res
+					return res, vs
 				}
 				res.Verdict = VerdictRedirectSYNTransit
-				return res
+				return res, vs
 			}
 		}
 	}
@@ -356,7 +421,7 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 		// state for an unroutable connection would only waste SRAM.
 		s.stats.NoBackend++
 		res.Verdict = VerdictNoBackend
-		return res
+		return res, vs
 	}
 	// Trigger learning: the CPU will install keyHash -> ver.
 	if s.learn.Offer(learnfilter.Event{
@@ -371,7 +436,7 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 		s.stats.LearnOffers++
 	}
 	res.Verdict = VerdictForward
-	return res
+	return res, vs
 }
 
 // poolRow is one DIPPoolTable row. Plain rows select by hash-mod over the

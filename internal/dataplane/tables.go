@@ -41,6 +41,11 @@ func (s *Switch) InstallVIP(vip VIP, ver uint32, pool []DIP, meterBytesPerSec fl
 		vs.meter = regarray.NewMeter(meterBytesPerSec, meterBytesPerSec/100,
 			meterBytesPerSec/10, meterBytesPerSec/100)
 	}
+	if s.tracer != nil {
+		// Resolve the per-VIP telemetry series once; the packet path carries
+		// the handle instead of looking it up.
+		vs.tel = s.tracer.RegisterVIP(s.pipe, vip.TelemetryKey())
+	}
 	s.nextID++
 	s.vips[vip] = vs
 	return nil
@@ -252,7 +257,13 @@ func (s *Switch) InsertConn(t netproto.FiveTuple, ver uint32) error {
 
 // DeleteConn removes tuple's entry; it reports whether one existed.
 func (s *Switch) DeleteConn(t netproto.FiveTuple) bool {
-	return s.conn.Delete(s.KeyHash(t))
+	ok := s.conn.Delete(s.KeyHash(t))
+	if ok && s.tracer != nil {
+		if vs, live := s.vips[VIPOf(t)]; live && vs.tel != nil {
+			vs.tel.ConnsEnded.Inc()
+		}
+	}
+	return ok
 }
 
 // LookupConn returns the installed version for tuple, resolving by the

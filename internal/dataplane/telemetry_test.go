@@ -1,0 +1,33 @@
+package dataplane
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry mirrors the verdict enum instead of importing this package
+// (it is a leaf); the numeric values must stay in lockstep.
+func TestTelemetryVerdictAlignment(t *testing.T) {
+	pairs := []struct {
+		dp  Verdict
+		tel telemetry.Verdict
+	}{
+		{VerdictForward, telemetry.VerdictForward},
+		{VerdictNoVIP, telemetry.VerdictNoVIP},
+		{VerdictMeterDrop, telemetry.VerdictMeterDrop},
+		{VerdictRedirectSYNConn, telemetry.VerdictRedirectSYNConn},
+		{VerdictRedirectSYNTransit, telemetry.VerdictRedirectSYNTransit},
+		{VerdictNoBackend, telemetry.VerdictNoBackend},
+	}
+	for _, p := range pairs {
+		if uint8(p.dp) != uint8(p.tel) {
+			t.Fatalf("verdict %v (=%d) does not align with telemetry %v (=%d)",
+				p.dp, uint8(p.dp), p.tel, uint8(p.tel))
+		}
+	}
+	if int(telemetry.NumVerdicts) != len(pairs) {
+		t.Fatalf("telemetry.NumVerdicts = %d, want %d — add the new verdict to both enums",
+			telemetry.NumVerdicts, len(pairs))
+	}
+}

@@ -26,6 +26,12 @@ type Report struct {
 	// the printed report.
 	ArtifactName string
 	Artifact     []byte
+
+	// MetricsName and Metrics optionally carry a telemetry snapshot (JSON)
+	// captured during the run; populated only when CollectTelemetry is set
+	// (silkroad-bench --metrics) and written next to the main artifact.
+	MetricsName string
+	Metrics     []byte
 }
 
 // Printf appends a formatted row.
@@ -43,6 +49,12 @@ func (r *Report) String() string {
 	}
 	return b.String()
 }
+
+// CollectTelemetry makes experiments that support it attach a
+// telemetry.Registry to the system under test and export the snapshot as a
+// Metrics artifact. Off by default so benchmark numbers measure the
+// untraced hot path; silkroad-bench --metrics turns it on before running.
+var CollectTelemetry bool
 
 // Runner is the registry entry for one experiment.
 type Runner struct {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/netproto"
 	"repro/internal/pipes"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // perPipePacketRate is the line rate of one forwarding pipeline in packets
@@ -50,21 +51,42 @@ const pipesBenchNote = "modeled_pps is the headline aggregate throughput: each p
 	"total_packets / max_pipe_packets x line rate. wallclock_pps measures this " +
 	"simulator on the build host and scales with host cores, not with modeled pipes."
 
+// pipesMetrics is the METRICS_pipes.json payload: one telemetry snapshot
+// per benchmarked pipe count, taken at end of run in virtual time.
+type pipesMetrics struct {
+	Note    string `json:"note"`
+	Configs []struct {
+		Pipes     int                `json:"pipes"`
+		Telemetry telemetry.Snapshot `json:"telemetry"`
+	} `json:"configs"`
+}
+
+const pipesMetricsNote = "end-of-run telemetry snapshots per pipe count; " +
+	"histogram sums are in seconds of virtual time (e.g. the pending window " +
+	"silkroad_insert_pending_window_seconds)."
+
 // runPipesConfig drives one engine through the benchmark workload and
-// returns its measured row.
-func runPipesConfig(nPipes, conns, pktsPerConn, batchSize int, seed int64) (PipesBenchConfig, error) {
+// returns its measured row, plus an end-of-run telemetry snapshot when
+// CollectTelemetry is on (nil otherwise, keeping the hot path untraced).
+func runPipesConfig(nPipes, conns, pktsPerConn, batchSize int, seed int64) (PipesBenchConfig, *telemetry.Snapshot, error) {
 	dcfg := dataplane.DefaultConfig(200_000)
 	dcfg.Seed = uint64(seed)
-	eng, err := pipes.New(pipes.Config{
+	pcfg := pipes.Config{
 		Pipes:        nPipes,
 		Dataplane:    dcfg,
 		Controlplane: ctrlplane.DefaultConfig(),
-	})
+	}
+	var reg *telemetry.Registry
+	if CollectTelemetry {
+		reg = telemetry.NewRegistry()
+		pcfg.Tracer = reg
+	}
+	eng, err := pipes.New(pcfg)
 	if err != nil {
-		return PipesBenchConfig{}, err
+		return PipesBenchConfig{}, nil, err
 	}
 	if err := eng.AddVIP(0, expVIP(), expPool(8), 0); err != nil {
-		return PipesBenchConfig{}, err
+		return PipesBenchConfig{}, nil, err
 	}
 
 	// Interleave connections so each batch mixes SYNs and established
@@ -92,7 +114,8 @@ func runPipesConfig(nPipes, conns, pktsPerConn, batchSize int, seed int64) (Pipe
 	elapsed := time.Since(start).Seconds()
 	// Let every pipe's CPU drain its learning filter and insertion queue so
 	// the connection count reflects the workload, not the flush timeout.
-	eng.Advance(now.Add(simtime.Duration(simtime.Second)))
+	end := now.Add(simtime.Duration(simtime.Second))
+	eng.Advance(end)
 	st := eng.Stats()
 
 	var maxPipe uint64
@@ -113,7 +136,12 @@ func runPipesConfig(nPipes, conns, pktsPerConn, batchSize int, seed int64) (Pipe
 	if elapsed > 0 {
 		row.WallclockPPS = float64(st.Dataplane.Packets) / elapsed
 	}
-	return row, nil
+	var snap *telemetry.Snapshot
+	if reg != nil {
+		s := reg.Snapshot(end)
+		snap = &s
+	}
+	return row, snap, nil
 }
 
 // PipesBench measures aggregate throughput of a single-pipe chip against a
@@ -128,12 +156,19 @@ func PipesBench(scale float64, seed int64) (*Report, error) {
 	const batchSize = 512
 
 	result := PipesBenchResult{Scale: scale, Seed: seed, Note: pipesBenchNote}
+	metrics := pipesMetrics{Note: pipesMetricsNote}
 	for _, n := range []int{1, 4} {
-		row, err := runPipesConfig(n, conns, pktsPerConn, batchSize, seed)
+		row, snap, err := runPipesConfig(n, conns, pktsPerConn, batchSize, seed)
 		if err != nil {
 			return nil, err
 		}
 		result.Configs = append(result.Configs, row)
+		if snap != nil {
+			metrics.Configs = append(metrics.Configs, struct {
+				Pipes     int                `json:"pipes"`
+				Telemetry telemetry.Snapshot `json:"telemetry"`
+			}{Pipes: n, Telemetry: *snap})
+		}
 	}
 	one, four := result.Configs[0], result.Configs[1]
 	if one.ModeledPPS > 0 {
@@ -157,5 +192,13 @@ func PipesBench(scale float64, seed int64) (*Report, error) {
 	}
 	rep.ArtifactName = "BENCH_pipes.json"
 	rep.Artifact = append(art, '\n')
+	if len(metrics.Configs) > 0 {
+		m, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("pipes bench metrics: %w", err)
+		}
+		rep.MetricsName = "METRICS_pipes.json"
+		rep.Metrics = append(m, '\n')
+	}
 	return rep, nil
 }

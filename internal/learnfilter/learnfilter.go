@@ -15,6 +15,7 @@ package learnfilter
 import (
 	"repro/internal/netproto"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Event is one learn notification: a new connection, the DIP-pool version
@@ -43,6 +44,9 @@ type Filter struct {
 	Duplicates uint64 // suppressed duplicates
 	Flushes    uint64
 	FullFlush  uint64 // flushes triggered by capacity rather than timeout
+
+	tracer telemetry.Tracer // nil = untraced
+	pipe   int
 }
 
 // New creates a filter holding up to capacity events, flushing after
@@ -108,18 +112,32 @@ func (f *Filter) NextFlush() (simtime.Time, bool) {
 	return timeoutAt, true
 }
 
+// SetTracer attaches a telemetry tracer: each Drain then emits one
+// OnLearnFlush event labelled with the given pipe index.
+func (f *Filter) SetTracer(tr telemetry.Tracer, pipe int) {
+	f.tracer = tr
+	f.pipe = pipe
+}
+
 // Drain hands the buffered batch to the CPU and resets the filter. The
 // returned slice is owned by the caller.
 func (f *Filter) Drain() []Event {
 	if len(f.batch) == 0 {
 		return nil
 	}
+	flushAt, _ := f.NextFlush() // before reset: the batch's delivery time
 	out := f.batch
 	f.batch = nil
 	f.pending = make(map[uint64]int, f.capacity)
 	f.Flushes++
-	if len(out) >= f.capacity {
+	full := len(out) >= f.capacity
+	if full {
 		f.FullFlush++
+	}
+	if f.tracer != nil {
+		f.tracer.OnLearnFlush(telemetry.LearnFlushEvent{
+			Now: flushAt, Pipe: f.pipe, Batch: len(out), Full: full,
+		})
 	}
 	return out
 }

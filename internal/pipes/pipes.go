@@ -31,6 +31,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/netproto"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a multi-pipe engine. Dataplane describes the chip
@@ -47,6 +48,11 @@ type Config struct {
 	// ShardSeed seeds the 5-tuple -> pipe hash. Zero derives one from the
 	// data-plane seed.
 	ShardSeed uint64
+	// Tracer receives telemetry from every pipe, labelled with the pipe
+	// index. It overrides Dataplane.Tracer (which would mislabel all pipes
+	// with one index). Implementations must be safe for concurrent use:
+	// pipes emit events in parallel under ProcessBatch.
+	Tracer telemetry.Tracer
 }
 
 // pipe is one forwarding pipeline: a data plane, its control-plane slice,
@@ -96,6 +102,10 @@ func New(cfg Config) (*Engine, error) {
 		dcfg.Chip = dcfg.Chip.PerPipe(n)
 		dcfg.ConnTableEntries = (cfg.Dataplane.ConnTableEntries + n - 1) / n
 		dcfg.Seed = cfg.Dataplane.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
+		if cfg.Tracer != nil {
+			dcfg.Tracer = cfg.Tracer
+		}
+		dcfg.Pipe = i
 		dp, err := dataplane.New(dcfg)
 		if err != nil {
 			return nil, fmt.Errorf("pipes: pipe %d: %w", i, err)
@@ -283,6 +293,37 @@ func (e *Engine) NextEventTime() (simtime.Time, bool) {
 		}
 	}
 	return best, have
+}
+
+// PipeStats is one pipe's view of the chip: its own hardware counters,
+// software metrics and SRAM consumption. The facade exposes the same type
+// for single-pipe switches, so callers inspect per-pipe state without
+// branching on the pipe count.
+type PipeStats struct {
+	Pipe         int // pipe index on the chip
+	Dataplane    dataplane.Stats
+	Controlplane ctrlplane.Metrics
+	Connections  int    // software shadow size of this pipe
+	MemoryBytes  int    // SRAM consumed by this pipe's tables
+	Packets      uint64 // packets this pipe processed (shard balance)
+}
+
+// PerPipe returns each pipe's individual counters in pipe order.
+func (e *Engine) PerPipe() []PipeStats {
+	out := make([]PipeStats, len(e.pipes))
+	for i, p := range e.pipes {
+		p.mu.Lock()
+		out[i] = PipeStats{
+			Pipe:         i,
+			Dataplane:    p.dp.Stats(),
+			Controlplane: p.cp.Metrics(),
+			Connections:  p.cp.TrackedConns(),
+			MemoryBytes:  p.dp.Memory().Total(),
+			Packets:      p.processed,
+		}
+		p.mu.Unlock()
+	}
+	return out
 }
 
 // Stats returns chip-level totals summed over the pipes.

@@ -164,6 +164,22 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 }
 
+// NewHistogramFromCounts rebuilds a histogram from externally captured
+// bucket counts (e.g. a telemetry snapshot): counts must have
+// len(bounds)+1 entries, the last being the overflow bucket. The counts
+// are copied.
+func NewHistogramFromCounts(bounds []float64, counts []int64) *Histogram {
+	h := NewHistogram(bounds)
+	if len(counts) != len(h.counts) {
+		panic("stats: counts must have len(bounds)+1 entries")
+	}
+	copy(h.counts, counts)
+	for _, c := range counts {
+		h.total += c
+	}
+	return h
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)

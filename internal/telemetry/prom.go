@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: metric families and
+// label values are emitted in sorted order.
+//
+// Name conventions: registry counters keep their registered names
+// (already _total-suffixed), histograms expand to _bucket/_sum/_count
+// families, per-VIP series become silkroad_vip_* families labeled with
+// vip="addr:port/proto", and per-pipe series become silkroad_pipe_*
+// families labeled with pipe="N" (and verdict="..." for the verdict
+// breakdown).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		writePromHistogram(&b, name, s.Histograms[name])
+	}
+
+	writeVIPFamilies(&b, s.VIPs)
+	writePipeFamilies(&b, s.Pipes)
+
+	fmt.Fprintf(&b, "# TYPE silkroad_virtual_time_seconds gauge\nsilkroad_virtual_time_seconds %s\n",
+		formatPromFloat(float64(s.Now)/1e9))
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writePromHistogram(b *strings.Builder, name string, h HistogramSnapshot) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatPromFloat(bound), cum)
+	}
+	cum += h.Counts[len(h.Bounds)]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatPromFloat(h.Sum))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
+}
+
+func writeVIPFamilies(b *strings.Builder, vips map[string]VIPSnapshot) {
+	if len(vips) == 0 {
+		return
+	}
+	labels := sortedKeys(vips)
+	families := []struct {
+		name string
+		get  func(VIPSnapshot) uint64
+	}{
+		{"silkroad_vip_packets_total", func(v VIPSnapshot) uint64 { return v.Packets }},
+		{"silkroad_vip_bytes_total", func(v VIPSnapshot) uint64 { return v.Bytes }},
+		{"silkroad_vip_conn_hits_total", func(v VIPSnapshot) uint64 { return v.ConnHits }},
+		{"silkroad_vip_learns_total", func(v VIPSnapshot) uint64 { return v.Learns }},
+		{"silkroad_vip_no_backend_total", func(v VIPSnapshot) uint64 { return v.NoBackend }},
+		{"silkroad_vip_meter_drops_total", func(v VIPSnapshot) uint64 { return v.MeterDrops }},
+		{"silkroad_vip_meter_bytes_total", func(v VIPSnapshot) uint64 { return v.MeterBytes }},
+		{"silkroad_vip_conns_total", func(v VIPSnapshot) uint64 { return v.Conns }},
+		{"silkroad_vip_conns_ended_total", func(v VIPSnapshot) uint64 { return v.ConnsEnded }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(b, "# TYPE %s counter\n", f.name)
+		for _, l := range labels {
+			fmt.Fprintf(b, "%s{vip=%q} %d\n", f.name, l, f.get(vips[l]))
+		}
+	}
+}
+
+func writePipeFamilies(b *strings.Builder, pipes []PipeSnapshot) {
+	if len(pipes) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# TYPE silkroad_pipe_packets_total counter\n")
+	for _, p := range pipes {
+		fmt.Fprintf(b, "silkroad_pipe_packets_total{pipe=\"%d\"} %d\n", p.Pipe, p.Packets)
+	}
+	fmt.Fprintf(b, "# TYPE silkroad_pipe_bytes_total counter\n")
+	for _, p := range pipes {
+		fmt.Fprintf(b, "silkroad_pipe_bytes_total{pipe=\"%d\"} %d\n", p.Pipe, p.Bytes)
+	}
+	fmt.Fprintf(b, "# TYPE silkroad_pipe_verdicts_total counter\n")
+	for _, p := range pipes {
+		verdicts := make([]string, 0, len(p.Verdicts))
+		for v := range p.Verdicts {
+			verdicts = append(verdicts, v)
+		}
+		sort.Strings(verdicts)
+		for _, v := range verdicts {
+			fmt.Fprintf(b, "silkroad_pipe_verdicts_total{pipe=\"%d\",verdict=%q} %d\n",
+				p.Pipe, v, p.Verdicts[v])
+		}
+	}
+}
+
+// formatPromFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf spelled out.
+func formatPromFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", f), ".0")
+}

@@ -1,0 +1,449 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+)
+
+// Built-in instrument names. All durations are histograms over virtual
+// seconds; counters follow the Prometheus _total convention.
+const (
+	// MetricPendingWindow is the paper's §4.2 quantity: virtual seconds
+	// from a connection's first packet (SYN seen) to its ConnTable entry
+	// committing on the CPU. Learned insertions only.
+	MetricPendingWindow = "silkroad_insert_pending_window_seconds"
+	// MetricInsertsLearned counts insertions that went through the
+	// learning filter and the bounded-rate CPU queue.
+	MetricInsertsLearned = "silkroad_inserts_learned_total"
+	// MetricDigestCollisions counts connections installed inline after a
+	// SYN hit an aliasing ConnTable entry (digest false positive).
+	MetricDigestCollisions = "silkroad_digest_collisions_total"
+	// MetricBloomFPs counts connections installed inline after a
+	// TransitTable bloom false positive.
+	MetricBloomFPs = "silkroad_bloom_false_positives_total"
+	// MetricInsertDuplicates counts insertion attempts that found the
+	// connection already installed.
+	MetricInsertDuplicates = "silkroad_insert_duplicates_total"
+	// MetricInsertOverflows counts insertion attempts rejected because
+	// ConnTable was full.
+	MetricInsertOverflows = "silkroad_insert_overflows_total"
+	// MetricInsertQueueDepth is the CPU insertion queue length after the
+	// most recent insertion event.
+	MetricInsertQueueDepth = "silkroad_insert_queue_depth"
+	// MetricInsertQueuePeak is the high-water mark of the insertion queue.
+	MetricInsertQueuePeak = "silkroad_insert_queue_peak"
+	// MetricUpdatesRequested counts PCC update requests entering VIP queues.
+	MetricUpdatesRequested = "silkroad_updates_requested_total"
+	// MetricUpdatesCompleted counts updates that finished step 3.
+	MetricUpdatesCompleted = "silkroad_updates_completed_total"
+	// MetricUpdateRecord is step 1's duration: t_req to t_exec, the time
+	// spent waiting for pre-update connections to drain into ConnTable.
+	MetricUpdateRecord = "silkroad_update_record_seconds"
+	// MetricUpdateTransition is step 2's duration: t_exec until the
+	// TransitTable could stop arbitrating.
+	MetricUpdateTransition = "silkroad_update_transition_seconds"
+	// MetricUpdateTotal is the full t_req-to-done update latency.
+	MetricUpdateTotal = "silkroad_update_total_seconds"
+	// MetricLearnFlushes counts learning-filter drains.
+	MetricLearnFlushes = "silkroad_learn_flushes_total"
+	// MetricLearnFullFlushes counts drains triggered by capacity rather
+	// than timeout.
+	MetricLearnFullFlushes = "silkroad_learn_full_flushes_total"
+	// MetricLearnBatch is the batch-size distribution of filter drains.
+	MetricLearnBatch = "silkroad_learn_batch_size"
+	// MetricMeterDropBytes counts wire bytes dropped by VIP meters.
+	MetricMeterDropBytes = "silkroad_meter_dropped_bytes_total"
+)
+
+// Default histogram bounds. Virtual-time histograms span 10 µs to 1 s,
+// bracketing the paper's pending windows (sub-millisecond learning filter
+// timeouts up to multi-millisecond insertion backlogs).
+var (
+	durationBounds = []float64{
+		10e-6, 30e-6, 100e-6, 300e-6, 1e-3, 3e-3, 10e-3, 30e-3, 100e-3, 300e-3, 1,
+	}
+	batchBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+)
+
+// pipeSeries is the per-pipe accumulator behind OnVerdict.
+type pipeSeries struct {
+	packets  Counter
+	bytes    Counter
+	verdicts [NumVerdicts]Counter
+}
+
+// PipeSnapshot is the serializable per-pipe view.
+type PipeSnapshot struct {
+	Pipe     int               `json:"pipe"`
+	Packets  uint64            `json:"packets"`
+	Bytes    uint64            `json:"bytes"`
+	Verdicts map[string]uint64 `json:"verdicts"`
+}
+
+type vipPipeKey struct {
+	vip  VIPKey
+	pipe int
+}
+
+// Registry is the default Tracer: it folds the event stream into named
+// counters, gauges and histograms plus per-VIP and per-pipe series, all
+// updated with atomic operations so hooks may fire concurrently from
+// every pipe while Snapshot scrapes.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	vips     map[vipPipeKey]*VIPSeries
+	vipKeys  map[VIPKey]bool
+
+	// pipes is copy-on-write: hooks load the slice atomically and index
+	// it; registration of a new pipe swaps in a grown copy under mu.
+	pipes atomic.Pointer[[]*pipeSeries]
+
+	// cached built-ins, so hooks never consult the name maps.
+	insertsLearned, digestFPs, bloomFPs *Counter
+	insertDups, insertOverflows         *Counter
+	updatesRequested, updatesCompleted  *Counter
+	learnFlushes, learnFullFlushes      *Counter
+	meterDropBytes                      *Counter
+	queueDepth, queuePeak               *Gauge
+	pendingWindow, learnBatch           *Histogram
+	updRecord, updTransition, updTotal  *Histogram
+}
+
+// NewRegistry creates a registry with every built-in instrument
+// pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		vips:     make(map[vipPipeKey]*VIPSeries),
+		vipKeys:  make(map[VIPKey]bool),
+	}
+	empty := make([]*pipeSeries, 0)
+	r.pipes.Store(&empty)
+
+	r.insertsLearned = r.Counter(MetricInsertsLearned)
+	r.digestFPs = r.Counter(MetricDigestCollisions)
+	r.bloomFPs = r.Counter(MetricBloomFPs)
+	r.insertDups = r.Counter(MetricInsertDuplicates)
+	r.insertOverflows = r.Counter(MetricInsertOverflows)
+	r.updatesRequested = r.Counter(MetricUpdatesRequested)
+	r.updatesCompleted = r.Counter(MetricUpdatesCompleted)
+	r.learnFlushes = r.Counter(MetricLearnFlushes)
+	r.learnFullFlushes = r.Counter(MetricLearnFullFlushes)
+	r.meterDropBytes = r.Counter(MetricMeterDropBytes)
+	r.queueDepth = r.Gauge(MetricInsertQueueDepth)
+	r.queuePeak = r.Gauge(MetricInsertQueuePeak)
+	r.pendingWindow = r.Histogram(MetricPendingWindow, durationBounds)
+	r.learnBatch = r.Histogram(MetricLearnBatch, batchBounds)
+	r.updRecord = r.Histogram(MetricUpdateRecord, durationBounds)
+	r.updTransition = r.Histogram(MetricUpdateTransition, durationBounds)
+	r.updTotal = r.Histogram(MetricUpdateTotal, durationBounds)
+	return r
+}
+
+// Counter returns the named counter, creating it on first use. Safe to
+// call at setup time; cache the result for hot paths.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (bounds are ignored if the name already exists).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// pipe returns pipe i's series, growing the pipe table if needed. The
+// fast path is one atomic load and an index.
+func (r *Registry) pipe(i int) *pipeSeries {
+	if i < 0 {
+		i = 0
+	}
+	ps := *r.pipes.Load()
+	if i < len(ps) {
+		return ps[i]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ps = *r.pipes.Load()
+	if i < len(ps) {
+		return ps[i]
+	}
+	grown := make([]*pipeSeries, i+1)
+	copy(grown, ps)
+	for j := len(ps); j <= i; j++ {
+		grown[j] = &pipeSeries{}
+	}
+	r.pipes.Store(&grown)
+	return grown[i]
+}
+
+// RegisterVIP implements Tracer: it returns the (pipe, VIP) series,
+// creating it on first registration.
+func (r *Registry) RegisterVIP(pipe int, vip VIPKey) *VIPSeries {
+	r.pipe(pipe) // ensure the pipe exists before traffic arrives
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := vipPipeKey{vip: vip, pipe: pipe}
+	s, ok := r.vips[k]
+	if !ok {
+		s = &VIPSeries{}
+		r.vips[k] = s
+		r.vipKeys[vip] = true
+	}
+	return s
+}
+
+// OnVerdict implements Tracer.
+func (r *Registry) OnVerdict(e VerdictEvent) {
+	p := r.pipe(e.Pipe)
+	p.packets.Inc()
+	p.bytes.Add(uint64(e.WireLen))
+	if e.Verdict < NumVerdicts {
+		p.verdicts[e.Verdict].Inc()
+	}
+	if v := e.VIP; v != nil {
+		v.Packets.Inc()
+		v.Bytes.Add(uint64(e.WireLen))
+		if e.ConnHit {
+			v.ConnHits.Inc()
+		}
+		if e.Learned {
+			v.Learns.Inc()
+		}
+		if e.Verdict == VerdictNoBackend {
+			v.NoBackend.Inc()
+		}
+	}
+}
+
+// OnInsert implements Tracer.
+func (r *Registry) OnInsert(e InsertEvent) {
+	r.queueDepth.Set(int64(e.QueueDepth))
+	r.queuePeak.SetMax(int64(e.QueueDepth))
+	switch e.Outcome {
+	case InsertDuplicate:
+		r.insertDups.Inc()
+		return
+	case InsertOverflow:
+		r.insertOverflows.Inc()
+		return
+	}
+	switch e.Kind {
+	case InsertLearned:
+		r.insertsLearned.Inc()
+		r.pendingWindow.Observe(e.Now.Sub(e.ArrivedAt).Seconds())
+	case InsertDigestFP:
+		r.digestFPs.Inc()
+	case InsertBloomFP:
+		r.bloomFPs.Inc()
+	}
+	if e.VIP != nil {
+		e.VIP.Conns.Inc()
+	}
+}
+
+// OnUpdateStep implements Tracer.
+func (r *Registry) OnUpdateStep(e UpdateStepEvent) {
+	switch e.Step {
+	case StepRequested:
+		r.updatesRequested.Inc()
+	case StepTransition:
+		r.updRecord.Observe(e.Now.Sub(e.ReqAt).Seconds())
+	case StepDone:
+		r.updatesCompleted.Inc()
+		if e.ExecAt != 0 || e.ReqAt != 0 {
+			r.updTransition.Observe(e.Now.Sub(e.ExecAt).Seconds())
+			r.updTotal.Observe(e.Now.Sub(e.ReqAt).Seconds())
+		}
+	}
+}
+
+// OnLearnFlush implements Tracer.
+func (r *Registry) OnLearnFlush(e LearnFlushEvent) {
+	r.learnFlushes.Inc()
+	if e.Full {
+		r.learnFullFlushes.Inc()
+	}
+	r.learnBatch.Observe(float64(e.Batch))
+}
+
+// OnMeterDrop implements Tracer.
+func (r *Registry) OnMeterDrop(e MeterDropEvent) {
+	r.meterDropBytes.Add(uint64(e.WireLen))
+	if e.VIP != nil {
+		e.VIP.MeterDrops.Inc()
+		e.VIP.MeterBytes.Add(uint64(e.WireLen))
+	}
+}
+
+// Snapshot is a consistent-enough point-in-time copy of every instrument:
+// each individual counter is read atomically, so every value in a later
+// snapshot is >= the same value in an earlier one (monotonicity), though
+// values read while traffic runs may be skewed by in-flight packets
+// relative to one another.
+type Snapshot struct {
+	// Now is the caller-supplied virtual timestamp of the scrape.
+	Now simtime.Time `json:"now_ns"`
+	// Elapsed is set by Delta: the virtual time between the snapshots.
+	Elapsed    simtime.Duration             `json:"elapsed_ns,omitempty"`
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	VIPs       map[string]VIPSnapshot       `json:"vips"`
+	Pipes      []PipeSnapshot               `json:"pipes"`
+}
+
+// Snapshot captures every instrument at virtual time now.
+func (r *Registry) Snapshot(now simtime.Time) Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	vips := make(map[vipPipeKey]*VIPSeries, len(r.vips))
+	for k, v := range r.vips {
+		vips[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Now:        now,
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+		VIPs:       make(map[string]VIPSnapshot),
+	}
+	for n, c := range counters {
+		s.Counters[n] = c.Load()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Load()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	for k, v := range vips {
+		label := k.vip.String()
+		agg := s.VIPs[label]
+		v.snapshotInto(&agg)
+		s.VIPs[label] = agg
+	}
+	for i, p := range *r.pipes.Load() {
+		ps := PipeSnapshot{
+			Pipe:     i,
+			Packets:  p.packets.Load(),
+			Bytes:    p.bytes.Load(),
+			Verdicts: make(map[string]uint64, NumVerdicts),
+		}
+		for v := Verdict(0); v < NumVerdicts; v++ {
+			if n := p.verdicts[v].Load(); n > 0 {
+				ps.Verdicts[v.String()] = n
+			}
+		}
+		s.Pipes = append(s.Pipes, ps)
+	}
+	return s
+}
+
+// Delta returns the change from prev to s: counters, histogram buckets
+// and per-VIP/per-pipe series are subtracted, gauges keep their current
+// values, and Elapsed carries the virtual time between the scrapes. Use
+// it to derive rates over virtual time:
+//
+//	d := cur.Delta(prev)
+//	pps := float64(d.Counters[name]) / d.Elapsed.Seconds()
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Now:        s.Now,
+		Elapsed:    s.Now.Sub(prev.Now),
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		VIPs:       make(map[string]VIPSnapshot, len(s.VIPs)),
+	}
+	for n, v := range s.Counters {
+		out.Counters[n] = v - prev.Counters[n]
+	}
+	for n, v := range s.Gauges {
+		out.Gauges[n] = v
+	}
+	for n, h := range s.Histograms {
+		if ph, ok := prev.Histograms[n]; ok {
+			out.Histograms[n] = h.Delta(ph)
+		} else {
+			out.Histograms[n] = h
+		}
+	}
+	for n, v := range s.VIPs {
+		out.VIPs[n] = v.sub(prev.VIPs[n])
+	}
+	for i, p := range s.Pipes {
+		d := PipeSnapshot{Pipe: p.Pipe, Packets: p.Packets, Bytes: p.Bytes,
+			Verdicts: make(map[string]uint64, len(p.Verdicts))}
+		for k, v := range p.Verdicts {
+			d.Verdicts[k] = v
+		}
+		if i < len(prev.Pipes) {
+			d.Packets -= prev.Pipes[i].Packets
+			d.Bytes -= prev.Pipes[i].Bytes
+			for k, v := range prev.Pipes[i].Verdicts {
+				d.Verdicts[k] -= v
+			}
+		}
+		out.Pipes = append(out.Pipes, d)
+	}
+	return out
+}
+
+// sortedKeys returns m's keys in ascending order (for deterministic
+// exposition).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,267 @@
+// Package telemetry is the observability layer of the SilkRoad stack: a
+// tracing hook interface the data plane, control plane, learning filter and
+// multi-pipe engine invoke at their decision points, plus a metrics
+// Registry (package telemetry's default Tracer) that turns those events
+// into counters, gauges and fixed-bucket histograms keyed by VIP and pipe.
+//
+// The paper's headline claims are quantitative — the pending-connection
+// window opened by slow CPU insertion (§4.2), digest and bloom false
+// positives, per-VIP load under meters — and none of them are observable
+// from end-of-run counter totals alone. The tracer hooks sit exactly at
+// the events those claims are about:
+//
+//   - OnVerdict    — one per packet, with the pipeline's verdict.
+//   - OnInsert     — one per ConnTable insertion attempt, carrying the
+//     connection's first-packet arrival time (the pending window) and the
+//     insertion kind (learned via the filter, or inline after a digest /
+//     bloom false-positive arbitration).
+//   - OnUpdateStep — the 3-step PCC update's state transitions with the
+//     t_req / t_exec timestamps of Figure 9.
+//   - OnLearnFlush — each learning-filter drain with its batch size.
+//   - OnMeterDrop  — each packet a VIP meter marked red.
+//
+// Cost model: a component holds its Tracer in a plain interface field; a
+// nil tracer costs exactly one branch per event site. Per-VIP hot-path
+// accounting goes through a *VIPSeries handle resolved once at VIP
+// installation (RegisterVIP) and carried inside the events, so no hook
+// ever performs a map lookup on the packet path. All Registry state is
+// atomic: hooks are safe to invoke from concurrent pipes and Snapshot can
+// be scraped while traffic runs.
+//
+// Everything is in virtual time (simtime); the registry never reads the
+// wall clock, so metrics are as deterministic as the simulation itself.
+package telemetry
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/simtime"
+)
+
+// VIPKey identifies a VIP in telemetry series without importing the
+// dataplane package (which imports telemetry): virtual address, port, and
+// the IP protocol number.
+type VIPKey struct {
+	Addr  netip.Addr
+	Port  uint16
+	Proto uint8
+}
+
+// String renders the key as addr:port/proto, the label used in exposition.
+func (k VIPKey) String() string {
+	proto := fmt.Sprintf("%d", k.Proto)
+	switch k.Proto {
+	case 6:
+		proto = "tcp"
+	case 17:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s/%s", netip.AddrPortFrom(k.Addr, k.Port), proto)
+}
+
+// Verdict mirrors the data plane's packet verdicts. The numeric values
+// MUST match dataplane.Verdict (asserted by a test in that package);
+// duplicating the constants here keeps telemetry a leaf package.
+type Verdict uint8
+
+// Verdicts, in dataplane order.
+const (
+	VerdictForward Verdict = iota
+	VerdictNoVIP
+	VerdictMeterDrop
+	VerdictRedirectSYNConn
+	VerdictRedirectSYNTransit
+	VerdictNoBackend
+	// NumVerdicts sizes per-verdict counter arrays.
+	NumVerdicts
+)
+
+// String names the verdict for exposition labels.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictNoVIP:
+		return "no_vip"
+	case VerdictMeterDrop:
+		return "meter_drop"
+	case VerdictRedirectSYNConn:
+		return "redirect_syn_conntable"
+	case VerdictRedirectSYNTransit:
+		return "redirect_syn_transittable"
+	case VerdictNoBackend:
+		return "no_backend"
+	default:
+		return fmt.Sprintf("verdict_%d", uint8(v))
+	}
+}
+
+// InsertKind classifies how a connection reached ConnTable.
+type InsertKind uint8
+
+// Insert kinds.
+const (
+	// InsertLearned: the normal path — learning filter batch, CPU queue,
+	// bounded-rate insertion. Its events carry the real pending window.
+	InsertLearned InsertKind = iota
+	// InsertDigestFP: installed inline while arbitrating a SYN that hit an
+	// aliasing ConnTable entry (digest false positive, §4.2).
+	InsertDigestFP
+	// InsertBloomFP: installed inline while arbitrating a SYN the
+	// TransitTable wrongly claimed as pending (bloom false positive, §4.3).
+	InsertBloomFP
+)
+
+// String names the kind.
+func (k InsertKind) String() string {
+	switch k {
+	case InsertLearned:
+		return "learned"
+	case InsertDigestFP:
+		return "digest_fp"
+	case InsertBloomFP:
+		return "bloom_fp"
+	default:
+		return fmt.Sprintf("kind_%d", uint8(k))
+	}
+}
+
+// InsertOutcome is what happened to one insertion attempt.
+type InsertOutcome uint8
+
+// Insert outcomes.
+const (
+	InsertOK        InsertOutcome = iota // entry committed
+	InsertDuplicate                      // connection already installed
+	InsertOverflow                       // ConnTable full; left unpinned
+)
+
+// UpdateStep is a state transition of the 3-step PCC update (Figure 9).
+type UpdateStep uint8
+
+// Update steps.
+const (
+	// StepRequested: an update entered the VIP's queue.
+	StepRequested UpdateStep = iota
+	// StepRecording: step 1 began (t_req) — misses are recorded in the
+	// TransitTable while pre-update connections drain into ConnTable.
+	StepRecording
+	// StepTransition: step 2 began (t_exec) — the VIPTable version swapped;
+	// misses consult the TransitTable.
+	StepTransition
+	// StepDone: step 3 — the update completed and the filter may clear.
+	StepDone
+)
+
+// String names the step.
+func (s UpdateStep) String() string {
+	switch s {
+	case StepRequested:
+		return "requested"
+	case StepRecording:
+		return "recording"
+	case StepTransition:
+		return "transition"
+	case StepDone:
+		return "done"
+	default:
+		return fmt.Sprintf("step_%d", uint8(s))
+	}
+}
+
+// VerdictEvent reports one packet's pipeline outcome (the hardware
+// verdict, before any CPU arbitration rewrites it).
+type VerdictEvent struct {
+	Now     simtime.Time
+	Pipe    int
+	VIP     *VIPSeries // nil when the destination is not a registered VIP
+	Verdict Verdict
+	WireLen int  // bytes on the wire
+	ConnHit bool // served from ConnTable
+	Learned bool // generated a learn event
+}
+
+// InsertEvent reports one ConnTable insertion attempt.
+type InsertEvent struct {
+	Now     simtime.Time
+	Pipe    int
+	VIP     *VIPSeries // nil if the VIP was withdrawn meanwhile
+	Kind    InsertKind
+	Outcome InsertOutcome
+	// ArrivedAt is when the connection's first packet was seen (SYN seen);
+	// Now - ArrivedAt is the pending window the paper reasons about. Only
+	// meaningful for InsertLearned.
+	ArrivedAt simtime.Time
+	// QueueDepth is the CPU insertion queue length after this attempt.
+	QueueDepth int
+}
+
+// UpdateStepEvent reports a PCC update state transition.
+type UpdateStepEvent struct {
+	Now  simtime.Time
+	Pipe int
+	VIP  *VIPSeries
+	Step UpdateStep
+	// ReqAt is t_req (zero before StepRecording); ExecAt is t_exec (zero
+	// before StepTransition).
+	ReqAt  simtime.Time
+	ExecAt simtime.Time
+}
+
+// LearnFlushEvent reports one learning-filter drain.
+type LearnFlushEvent struct {
+	Now   simtime.Time
+	Pipe  int
+	Batch int  // events handed to the CPU
+	Full  bool // capacity-triggered (vs timeout) flush
+}
+
+// MeterDropEvent reports a packet a VIP meter marked red.
+type MeterDropEvent struct {
+	Now     simtime.Time
+	Pipe    int
+	VIP     *VIPSeries
+	WireLen int
+}
+
+// Tracer receives events from the traced components. Implementations must
+// be safe for concurrent use from multiple pipes. The Registry in this
+// package is the default implementation; custom tracers can embed
+// NopTracer and override the hooks they care about.
+type Tracer interface {
+	// RegisterVIP returns the per-(pipe, VIP) hot-path accumulator that
+	// subsequent events for this VIP on this pipe will carry, or nil to
+	// disable per-VIP accounting. Called once per VIP installation per
+	// pipe; re-registering the same (pipe, VIP) returns the same series,
+	// so counters stay cumulative across VIP re-announcements.
+	RegisterVIP(pipe int, vip VIPKey) *VIPSeries
+
+	OnVerdict(e VerdictEvent)
+	OnInsert(e InsertEvent)
+	OnUpdateStep(e UpdateStepEvent)
+	OnLearnFlush(e LearnFlushEvent)
+	OnMeterDrop(e MeterDropEvent)
+}
+
+// NopTracer is a Tracer that ignores everything; embed it to implement
+// only a subset of the hooks.
+type NopTracer struct{}
+
+// RegisterVIP implements Tracer.
+func (NopTracer) RegisterVIP(int, VIPKey) *VIPSeries { return nil }
+
+// OnVerdict implements Tracer.
+func (NopTracer) OnVerdict(VerdictEvent) {}
+
+// OnInsert implements Tracer.
+func (NopTracer) OnInsert(InsertEvent) {}
+
+// OnUpdateStep implements Tracer.
+func (NopTracer) OnUpdateStep(UpdateStepEvent) {}
+
+// OnLearnFlush implements Tracer.
+func (NopTracer) OnLearnFlush(LearnFlushEvent) {}
+
+// OnMeterDrop implements Tracer.
+func (NopTracer) OnMeterDrop(MeterDropEvent) {}

@@ -22,7 +22,9 @@
 package silkroad
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net/netip"
 	"sync"
 
@@ -32,6 +34,20 @@ import (
 	"repro/internal/netproto"
 	"repro/internal/pipes"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// Sentinel errors returned (wrapped with context) by the packet-path
+// methods; match them with errors.Is.
+var (
+	// ErrUndecodable: the raw bytes are not a parseable IPv4/IPv6 packet.
+	ErrUndecodable = errors.New("undecodable packet")
+	// ErrNotVIP: the packet's destination is not a registered VIP.
+	ErrNotVIP = errors.New("destination is not a VIP")
+	// ErrMeterDrop: the VIP's meter marked the packet red (§6 isolation).
+	ErrMeterDrop = errors.New("dropped by VIP meter")
+	// ErrNoBackend: the selected DIP pool version holds no backends.
+	ErrNoBackend = errors.New("no backend available")
 )
 
 // Re-exported core types. VIP identifies a service; DIP is a backend
@@ -51,7 +67,24 @@ type (
 	Duration = simtime.Duration
 	// Result reports the pipeline's decision for one packet.
 	Result = dataplane.Result
+	// Telemetry is the default metrics registry: attach one via
+	// Config.Telemetry, scrape it with Snapshot or WritePrometheus.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of every instrument.
+	TelemetrySnapshot = telemetry.Snapshot
+	// PipeStats is one pipe's counters as reported by Switch.PerPipe.
+	PipeStats = pipes.PipeStats
 )
+
+// NewTelemetry creates a metrics registry ready to attach to a switch via
+// Config.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// WritePrometheus renders a telemetry snapshot in Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, s TelemetrySnapshot) error {
+	return telemetry.WritePrometheus(w, s)
+}
 
 // Transport protocols.
 const (
@@ -98,6 +131,11 @@ type Config struct {
 	// ConnTable sizing target divide evenly across pipes, and Stats reports
 	// chip-level aggregates.
 	Pipes int
+	// Telemetry, when non-nil, attaches a metrics registry: the data plane,
+	// control plane and learning filter of every pipe report their events
+	// into it, and Switch.Telemetry exposes it for scraping. Nil keeps the
+	// hot path telemetry-free (one branch per event site).
+	Telemetry *Telemetry
 }
 
 // Defaults returns the paper's operating point for a switch provisioned
@@ -136,27 +174,43 @@ type Switch struct {
 	// multi is non-nil when the switch runs more than one pipe; dp/cp are
 	// nil in that mode and every operation routes through the engine.
 	multi *pipes.Engine
+
+	tel *Telemetry // nil when no registry is attached
 }
 
 // NewSwitch builds a switch from cfg.
 func NewSwitch(cfg Config) (*Switch, error) {
 	if cfg.Pipes > 1 {
-		eng, err := pipes.New(pipes.Config{
+		pcfg := pipes.Config{
 			Pipes:        cfg.Pipes,
 			Dataplane:    cfg.Dataplane,
 			Controlplane: cfg.Controlplane,
-		})
+		}
+		if cfg.Telemetry != nil {
+			// Assign only when non-nil: a nil *Telemetry boxed into the
+			// Tracer interface would defeat the tracer==nil fast path.
+			pcfg.Tracer = cfg.Telemetry
+		}
+		eng, err := pipes.New(pcfg)
 		if err != nil {
 			return nil, err
 		}
-		return &Switch{multi: eng}, nil
+		return &Switch{multi: eng, tel: cfg.Telemetry}, nil
 	}
-	dp, err := dataplane.New(cfg.Dataplane)
+	dcfg := cfg.Dataplane
+	if cfg.Telemetry != nil {
+		dcfg.Tracer = cfg.Telemetry
+	}
+	dp, err := dataplane.New(dcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Switch{dp: dp, cp: ctrlplane.New(dp, cfg.Controlplane)}, nil
+	return &Switch{dp: dp, cp: ctrlplane.New(dp, cfg.Controlplane), tel: cfg.Telemetry}, nil
 }
+
+// Telemetry returns the attached metrics registry, or nil when the switch
+// was built without one.
+func (s *Switch) Telemetry() *Telemetry { return s.tel }
 
 // Pipes returns the number of forwarding pipelines the switch runs.
 func (s *Switch) Pipes() int {
@@ -189,26 +243,40 @@ func (s *Switch) Controlplane() *ctrlplane.ControlPlane {
 	return s.cp
 }
 
-// AddVIP announces a VIP with an initial DIP pool. A meter rate of 0
-// leaves the VIP unmetered; a positive rate (bytes/s) attaches a hardware
-// two-rate three-color meter for performance isolation.
-func (s *Switch) AddVIP(now Time, vip VIP, pool []DIP) error {
+// VIPOption configures one VIP at announcement time.
+type VIPOption func(*vipOptions)
+
+type vipOptions struct {
+	meterBytesPerSec float64
+}
+
+// WithMeter attaches a hardware two-rate three-color meter with the given
+// committed rate in bytes per second (§6 performance isolation). A rate of
+// 0 leaves the VIP unmetered.
+func WithMeter(bytesPerSec float64) VIPOption {
+	return func(o *vipOptions) { o.meterBytesPerSec = bytesPerSec }
+}
+
+// AddVIP announces a VIP with an initial DIP pool. Options configure
+// per-VIP hardware features, e.g. WithMeter for rate isolation.
+func (s *Switch) AddVIP(now Time, vip VIP, pool []DIP, opts ...VIPOption) error {
+	var o vipOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	if s.multi != nil {
-		return s.multi.AddVIP(now, vip, pool, 0)
+		return s.multi.AddVIP(now, vip, pool, o.meterBytesPerSec)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cp.AddVIP(now, vip, pool, 0)
+	return s.cp.AddVIP(now, vip, pool, o.meterBytesPerSec)
 }
 
 // AddVIPMetered announces a VIP with a committed-rate meter.
+//
+// Deprecated: use AddVIP with WithMeter instead.
 func (s *Switch) AddVIPMetered(now Time, vip VIP, pool []DIP, meterBytesPerSec float64) error {
-	if s.multi != nil {
-		return s.multi.AddVIP(now, vip, pool, meterBytesPerSec)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cp.AddVIP(now, vip, pool, meterBytesPerSec)
+	return s.AddVIP(now, vip, pool, WithMeter(meterBytesPerSec))
 }
 
 // RemoveVIP withdraws a VIP.
@@ -299,31 +367,39 @@ func (s *Switch) process(now Time, pkt *Packet) Result {
 	return s.cp.HandleResult(now, pkt, res)
 }
 
+// verdictError maps a non-forwarding verdict to its wrapped sentinel, so
+// Forward and ForwardIPIP agree on error semantics and callers can test
+// with errors.Is.
+func verdictError(res Result, t FiveTuple) error {
+	switch res.Verdict {
+	case dataplane.VerdictNoVIP:
+		return fmt.Errorf("silkroad: %v: %w", dataplane.VIPOf(t), ErrNotVIP)
+	case dataplane.VerdictMeterDrop:
+		return fmt.Errorf("silkroad: %v: %w", dataplane.VIPOf(t), ErrMeterDrop)
+	case dataplane.VerdictNoBackend:
+		return fmt.Errorf("silkroad: %v: %w", dataplane.VIPOf(t), ErrNoBackend)
+	default:
+		return fmt.Errorf("silkroad: unresolved verdict %v", res.Verdict)
+	}
+}
+
 // Forward processes a raw IPv4/IPv6 packet: decode, balance, rewrite the
-// destination to the chosen DIP in place, and return that DIP. The
-// returned error distinguishes undecodable packets, unknown VIPs and
-// meter drops.
+// destination to the chosen DIP in place, and return that DIP. Failures
+// wrap the package sentinels (ErrUndecodable, ErrNotVIP, ErrMeterDrop,
+// ErrNoBackend); match them with errors.Is.
 func (s *Switch) Forward(now Time, raw []byte) (DIP, error) {
 	var pkt Packet
 	if err := netproto.Decode(raw, &pkt); err != nil {
-		return DIP{}, err
+		return DIP{}, fmt.Errorf("silkroad: %w: %v", ErrUndecodable, err)
 	}
 	res := s.Process(now, &pkt)
-	switch res.Verdict {
-	case dataplane.VerdictForward:
-		if err := netproto.RewriteDst(raw, res.DIP); err != nil {
-			return DIP{}, err
-		}
-		return res.DIP, nil
-	case dataplane.VerdictNoVIP:
-		return DIP{}, fmt.Errorf("silkroad: %v is not a VIP", dataplane.VIPOf(pkt.Tuple))
-	case dataplane.VerdictMeterDrop:
-		return DIP{}, fmt.Errorf("silkroad: packet dropped by VIP meter")
-	case dataplane.VerdictNoBackend:
-		return DIP{}, fmt.Errorf("silkroad: VIP %v has no backends", dataplane.VIPOf(pkt.Tuple))
-	default:
-		return DIP{}, fmt.Errorf("silkroad: unresolved verdict %v", res.Verdict)
+	if res.Verdict != dataplane.VerdictForward {
+		return DIP{}, verdictError(res, pkt.Tuple)
 	}
+	if err := netproto.RewriteDst(raw, res.DIP); err != nil {
+		return DIP{}, err
+	}
+	return res.DIP, nil
 }
 
 // ForwardIPIP processes a raw IPv4 packet and returns it encapsulated
@@ -333,11 +409,11 @@ func (s *Switch) Forward(now Time, raw []byte) (DIP, error) {
 func (s *Switch) ForwardIPIP(now Time, raw []byte, selfAddr netip.Addr) ([]byte, DIP, error) {
 	var pkt Packet
 	if err := netproto.Decode(raw, &pkt); err != nil {
-		return nil, DIP{}, err
+		return nil, DIP{}, fmt.Errorf("silkroad: %w: %v", ErrUndecodable, err)
 	}
 	res := s.Process(now, &pkt)
 	if res.Verdict != dataplane.VerdictForward {
-		return nil, DIP{}, fmt.Errorf("silkroad: unresolved verdict %v", res.Verdict)
+		return nil, DIP{}, verdictError(res, pkt.Tuple)
 	}
 	enc, err := netproto.EncapIPIP(nil, selfAddr, res.DIP.Addr(), raw)
 	if err != nil {
@@ -423,4 +499,23 @@ func (s *Switch) Stats() Stats {
 		Connections:  s.cp.TrackedConns(),
 		MemoryBytes:  s.dp.Memory().Total(),
 	}
+}
+
+// PerPipe returns each pipe's individual counters in pipe order. A
+// single-pipe switch reports one entry, so callers inspect per-pipe state
+// the same way regardless of the pipe count (no Engine() != nil branch).
+func (s *Switch) PerPipe() []PipeStats {
+	if s.multi != nil {
+		return s.multi.PerPipe()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []PipeStats{{
+		Pipe:         0,
+		Dataplane:    s.dp.Stats(),
+		Controlplane: s.cp.Metrics(),
+		Connections:  s.cp.TrackedConns(),
+		MemoryBytes:  s.dp.Memory().Total(),
+		Packets:      s.dp.Stats().Packets,
+	}}
 }
