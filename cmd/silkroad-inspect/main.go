@@ -1,0 +1,409 @@
+// Command silkroad-inspect queries a running silkroadd's debug surface
+// (-debug flag) and pretty-prints what it finds: per-flow pipeline traces,
+// the control-plane event journal, table dumps, and SRAM occupancy.
+//
+//	silkroad-inspect -addr localhost:9090 trace 1.2.3.4:1234->20.0.0.1:80/tcp
+//	silkroad-inspect -addr localhost:9090 journal
+//	silkroad-inspect -addr localhost:9090 sram
+//
+// Subcommands:
+//
+//	trace <five-tuple>   arm the flow (if not already) and print its trace
+//	arm <five-tuple>     arm a flow filter and return
+//	disarm <five-tuple>  disarm a flow filter
+//	packets              dump the packet-trace ring
+//	journal              print the control-plane event timeline
+//	conntable            dump every ConnTable entry per pipe
+//	vips                 list VIPs with versions and pools per pipe
+//	pending              show the learning filter's pending set per pipe
+//	sram                 per-stage occupancy heatmap and SRAM breakdown
+//
+// Five-tuples use the trace-record rendering "src:port->dst:port/proto"
+// (also accepted with a "tcp:"/"udp:" prefix). Remember to quote or escape
+// the "->" in most shells.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	silkroad "repro"
+	"repro/internal/netproto"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: silkroad-inspect [-addr host:port] <command> [args]
+
+commands:
+  trace <five-tuple>   arm the flow (if needed) and print its recorded path
+  arm <five-tuple>     arm a flow filter
+  disarm <five-tuple>  disarm a flow filter
+  packets              dump the packet-trace ring
+  journal              print the control-plane event timeline
+  conntable            dump ConnTable entries per pipe
+  vips                 list VIPs with versions and pools
+  pending              show the learning filter's pending set
+  sram                 per-stage occupancy and SRAM breakdown
+
+five-tuple syntax: "src:port->dst:port/tcp" (quote the ->)
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:9090", "silkroadd debug listener (its -metrics address)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := client{base: "http://" + *addr + "/debug/silkroad/"}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "trace":
+		err = c.trace(args)
+	case "arm", "disarm":
+		err = c.armDisarm(cmd, args)
+	case "packets":
+		err = c.packets()
+	case "journal":
+		err = c.journal()
+	case "conntable":
+		err = c.conntable()
+	case "vips":
+		err = c.vips()
+	case "pending":
+		err = c.pending()
+	case "sram":
+		err = c.sram()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "silkroad-inspect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type client struct{ base string }
+
+// get fetches one endpoint and decodes the JSON reply into v.
+func (c client) get(endpoint string, query url.Values, v any) error {
+	u := c.base + endpoint
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", endpoint, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func flowArg(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("want exactly one five-tuple argument")
+	}
+	// Validate locally for a friendlier error than the server's 400.
+	t, err := netproto.ParseFiveTuple(args[0])
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}
+
+type traceReply struct {
+	Flow    string                  `json:"flow"`
+	Armed   bool                    `json:"armed"`
+	Records []silkroad.PacketRecord `json:"records"`
+}
+
+func (c client) trace(args []string) error {
+	flow, err := flowArg(args)
+	if err != nil {
+		return err
+	}
+	q := url.Values{"flow": {flow}}
+	var tr traceReply
+	if err := c.get("trace", q, &tr); err != nil {
+		return err
+	}
+	if !tr.Armed {
+		// Arm so the *next* packets of this flow get recorded, then report
+		// whatever is already in the ring (sampled packets may be there).
+		var armReply struct{}
+		if err := c.get("arm", q, &armReply); err != nil {
+			return err
+		}
+		fmt.Printf("armed %s (was not armed; future packets will be traced)\n", tr.Flow)
+	}
+	fmt.Printf("flow %s: %d record(s)\n", tr.Flow, len(tr.Records))
+	for _, r := range tr.Records {
+		printPacketRecord(r)
+	}
+	return nil
+}
+
+func printPacketRecord(r silkroad.PacketRecord) {
+	ts := time.Duration(r.Now).String()
+	switch r.Kind {
+	case "insert":
+		fmt.Printf("  %12s  pipe%d  CPU insert %-14s ver=%d queue=%d (arrived %s)\n",
+			ts, r.Pipe, r.Verdict, r.Version, r.QueueDepth, time.Duration(r.ArrivedAt))
+	default:
+		path := make([]string, 0, 6)
+		if r.ConnHit {
+			path = append(path, fmt.Sprintf("conntable[stage %d]", r.Stage))
+		} else {
+			path = append(path, "conntable miss")
+		}
+		if r.TransitHit {
+			path = append(path, "transit hit")
+		}
+		if r.Learned {
+			path = append(path, "learned")
+		}
+		if r.Meter != "" {
+			path = append(path, "meter="+r.Meter)
+		}
+		path = append(path, fmt.Sprintf("ver=%d", r.Version))
+		if r.DIP != "" {
+			path = append(path, "dip="+r.DIP)
+		}
+		fmt.Printf("  %12s  pipe%d  %-10s %s  (hash=%#x digest=%#x len=%dB)\n",
+			ts, r.Pipe, r.Verdict, strings.Join(path, " "), r.KeyHash, r.Digest, r.WireLen)
+	}
+}
+
+func (c client) armDisarm(cmd string, args []string) error {
+	flow, err := flowArg(args)
+	if err != nil {
+		return err
+	}
+	var reply struct {
+		Flow  string `json:"flow"`
+		Armed bool   `json:"armed"`
+	}
+	if err := c.get(cmd, url.Values{"flow": {flow}}, &reply); err != nil {
+		return err
+	}
+	state := "disarmed"
+	if reply.Armed {
+		state = "armed"
+	}
+	fmt.Printf("%s %s\n", state, reply.Flow)
+	return nil
+}
+
+func (c client) packets() error {
+	var reply struct {
+		Total   uint64                  `json:"total"`
+		Records []silkroad.PacketRecord `json:"records"`
+	}
+	if err := c.get("packets", nil, &reply); err != nil {
+		return err
+	}
+	fmt.Printf("packet ring: %d record(s) resident, %d ever written\n", len(reply.Records), reply.Total)
+	for _, r := range reply.Records {
+		fmt.Printf("  [%d] %s\n", r.Seq, r.Flow)
+		printPacketRecord(r)
+	}
+	return nil
+}
+
+func (c client) journal() error {
+	var reply struct {
+		Total   uint64                   `json:"total"`
+		Records []silkroad.JournalRecord `json:"records"`
+	}
+	if err := c.get("journal", nil, &reply); err != nil {
+		return err
+	}
+	fmt.Printf("journal: %d record(s) resident, %d ever written\n", len(reply.Records), reply.Total)
+	for _, r := range reply.Records {
+		ts := time.Duration(r.Now).String()
+		switch r.Kind {
+		case "pool_update":
+			fmt.Printf("  [%d] %12s  pipe%d  pool %-10s %s  v%d->v%d  %v -> %v\n",
+				r.Seq, ts, r.Pipe, r.Step, r.VIP, r.PrevVersion, r.Version, r.Before, r.After)
+		case "cuckoo":
+			status := "ok"
+			if !r.OK {
+				status = "FAILED"
+			}
+			fmt.Printf("  [%d] %12s  pipe%d  cuckoo %-8s hash=%#x digest=%#x moves=%d reloc=%d %s (%d/%d)\n",
+				r.Seq, ts, r.Pipe, r.Op, r.KeyHash, r.Digest, r.Moves, r.Relocations, status, r.Len, r.Capacity)
+		case "learn_flush":
+			full := ""
+			if r.Full {
+				full = " (filter full)"
+			}
+			fmt.Printf("  [%d] %12s  pipe%d  learn flush: %d event(s)%s\n", r.Seq, ts, r.Pipe, r.Batch, full)
+		default:
+			fmt.Printf("  [%d] %12s  pipe%d  %s\n", r.Seq, ts, r.Pipe, r.Kind)
+		}
+	}
+	return nil
+}
+
+func (c client) conntable() error {
+	var reply []struct {
+		Pipe     int `json:"pipe"`
+		Len      int `json:"len"`
+		Capacity int `json:"capacity"`
+		Entries  []struct {
+			Stage   int    `json:"stage"`
+			Bucket  int    `json:"bucket"`
+			Way     int    `json:"way"`
+			KeyHash uint64 `json:"key_hash"`
+			Digest  uint32 `json:"digest"`
+			Value   uint32 `json:"value"`
+		} `json:"entries"`
+	}
+	if err := c.get("conntable", nil, &reply); err != nil {
+		return err
+	}
+	for _, p := range reply {
+		fmt.Printf("pipe %d: %d/%d entries\n", p.Pipe, p.Len, p.Capacity)
+		for _, e := range p.Entries {
+			fmt.Printf("  stage %d bucket %4d way %d  hash=%#016x digest=%#08x ver=%d\n",
+				e.Stage, e.Bucket, e.Way, e.KeyHash, e.Digest, e.Value)
+		}
+	}
+	return nil
+}
+
+func (c client) vips() error {
+	var reply []struct {
+		Pipe int `json:"pipe"`
+		VIPs []struct {
+			VIP            string `json:"vip"`
+			CurrentVersion uint32 `json:"current_version"`
+			InUpdate       bool   `json:"in_update"`
+			Versions       []struct {
+				Version uint32   `json:"version"`
+				Pool    []string `json:"pool"`
+			} `json:"versions"`
+		} `json:"vips"`
+	}
+	if err := c.get("vips", nil, &reply); err != nil {
+		return err
+	}
+	for _, p := range reply {
+		fmt.Printf("pipe %d:\n", p.Pipe)
+		for _, v := range p.VIPs {
+			upd := ""
+			if v.InUpdate {
+				upd = "  [update in progress]"
+			}
+			fmt.Printf("  %s  current=v%d%s\n", v.VIP, v.CurrentVersion, upd)
+			for _, ver := range v.Versions {
+				marker := " "
+				if ver.Version == v.CurrentVersion {
+					marker = "*"
+				}
+				fmt.Printf("   %s v%-3d %s\n", marker, ver.Version, strings.Join(ver.Pool, ", "))
+			}
+		}
+	}
+	return nil
+}
+
+func (c client) pending() error {
+	var reply []struct {
+		Pipe    int `json:"pipe"`
+		Pending []struct {
+			Flow    string `json:"flow"`
+			KeyHash uint64 `json:"key_hash"`
+			Version uint32 `json:"version"`
+			At      int64  `json:"at_ns"`
+		} `json:"pending"`
+	}
+	if err := c.get("pending", nil, &reply); err != nil {
+		return err
+	}
+	for _, p := range reply {
+		fmt.Printf("pipe %d: %d pending learn(s)\n", p.Pipe, len(p.Pending))
+		for _, e := range p.Pending {
+			fmt.Printf("  %12s  %s  hash=%#x ver=%d\n",
+				time.Duration(e.At), e.Flow, e.KeyHash, e.Version)
+		}
+	}
+	return nil
+}
+
+func (c client) sram() error {
+	var reply []struct {
+		Pipe   int `json:"pipe"`
+		Stages []struct {
+			Stage int `json:"stage"`
+			Used  int `json:"used"`
+			Slots int `json:"slots"`
+		} `json:"stages"`
+		Memory struct {
+			ConnTableBytes   int
+			DIPPoolBytes     int
+			TransitBytes     int
+			LearnFilterBytes int
+			VIPTableBytes    int
+		} `json:"memory"`
+		TotalBytes   int     `json:"total_bytes"`
+		OccupancyPct float64 `json:"occupancy_pct"`
+	}
+	if err := c.get("sram", nil, &reply); err != nil {
+		return err
+	}
+	for _, p := range reply {
+		fmt.Printf("pipe %d: ConnTable %.1f%% full, SRAM %s\n",
+			p.Pipe, p.OccupancyPct, byteCount(p.TotalBytes))
+		for _, s := range p.Stages {
+			pct := 0.0
+			if s.Slots > 0 {
+				pct = float64(s.Used) / float64(s.Slots)
+			}
+			fmt.Printf("  stage %d %s %6d/%d (%.1f%%)\n", s.Stage, bar(pct, 30), s.Used, s.Slots, 100*pct)
+		}
+		m := p.Memory
+		fmt.Printf("  conntable=%s dippool=%s transit=%s learnfilter=%s viptable=%s\n",
+			byteCount(m.ConnTableBytes), byteCount(m.DIPPoolBytes), byteCount(m.TransitBytes),
+			byteCount(m.LearnFilterBytes), byteCount(m.VIPTableBytes))
+	}
+	return nil
+}
+
+// bar renders a fixed-width occupancy bar for the SRAM heatmap.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	full := int(frac * float64(width))
+	return "[" + strings.Repeat("#", full) + strings.Repeat(".", width-full) + "]"
+}
+
+func byteCount(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

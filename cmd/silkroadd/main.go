@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -40,7 +41,13 @@ func main() {
 	selfAddr := flag.String("self", "192.0.2.1", "outer source address for -mode ipip")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval")
 	metricsAddr := flag.String("metrics", "", "HTTP address serving Prometheus metrics at /metrics (e.g. :9090); empty disables")
+	debug := flag.Bool("debug", false, "serve /debug/silkroad/ (flight recorder, table dumps) and /debug/pprof/ on the -metrics listener")
+	sampleEvery := flag.Int("trace-sample", 0, "with -debug, record every Nth packet in the trace ring (0 = armed flows only)")
 	flag.Parse()
+
+	if *debug && *metricsAddr == "" {
+		log.Fatal("silkroadd: -debug needs -metrics to serve the debug endpoints on")
+	}
 
 	vipAP, err := netip.ParseAddrPort(*vipFlag)
 	if err != nil {
@@ -58,6 +65,11 @@ func main() {
 	cfg := silkroad.Defaults(*conns)
 	telemetry := silkroad.NewTelemetry()
 	cfg.Telemetry = telemetry
+	if *debug {
+		cfg.FlightRecorder = silkroad.NewFlightRecorder(silkroad.FlightRecorderConfig{
+			SampleEvery: *sampleEvery,
+		})
+	}
 	sw, err := silkroad.NewSwitch(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -99,6 +111,15 @@ func main() {
 				log.Printf("silkroadd: metrics write: %v", err)
 			}
 		})
+		if *debug {
+			mux.Handle("/debug/silkroad/", sw.DebugHandler())
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("silkroadd: debug surface on http://%s/debug/silkroad/ (pprof at /debug/pprof/)", *metricsAddr)
+		}
 		go func() {
 			log.Printf("silkroadd: serving Prometheus metrics on http://%s/metrics", *metricsAddr)
 			log.Fatalf("silkroadd: metrics server: %v", http.ListenAndServe(*metricsAddr, mux))

@@ -66,7 +66,8 @@ func (cp *ControlPlane) drainFilter(flushAt simtime.Time) {
 
 // traceInsert emits one OnInsert event (no-op when untraced).
 func (cp *ControlPlane) traceInsert(now simtime.Time, vip dataplane.VIP,
-	kind telemetry.InsertKind, outcome telemetry.InsertOutcome, arrivedAt simtime.Time) {
+	kind telemetry.InsertKind, outcome telemetry.InsertOutcome, arrivedAt simtime.Time,
+	tuple netproto.FiveTuple, ver uint32) {
 	if cp.tracer == nil {
 		return
 	}
@@ -78,6 +79,8 @@ func (cp *ControlPlane) traceInsert(now simtime.Time, vip dataplane.VIP,
 		Outcome:    outcome,
 		ArrivedAt:  arrivedAt,
 		QueueDepth: len(cp.queue),
+		Tuple:      tuple,
+		Version:    ver,
 	})
 }
 
@@ -87,7 +90,7 @@ func (cp *ControlPlane) install(pi pendingInsert) {
 	vip := dataplane.VIPOf(ev.Tuple)
 	if sh, seen := cp.conns[ev.KeyHash]; seen && sh.installed {
 		cp.metrics.DuplicateLearns++
-		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertDuplicate, ev.At)
+		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertDuplicate, ev.At, ev.Tuple, ev.Version)
 		return
 	}
 	vc, ok := cp.vips[vip]
@@ -100,7 +103,7 @@ func (cp *ControlPlane) install(pi pendingInsert) {
 		// the current version instead.
 		ev.Version = vc.curVer
 	}
-	err := cp.sw.InsertConn(ev.Tuple, ev.Version)
+	err := cp.sw.InsertConnAt(pi.completeAt, ev.Tuple, ev.Version)
 	switch {
 	case err == nil:
 		cp.conns[ev.KeyHash] = &connShadow{
@@ -114,16 +117,16 @@ func (cp *ControlPlane) install(pi pendingInsert) {
 		cp.metrics.Inserted++
 		cp.metrics.InsertDelaySum += pi.completeAt.Sub(ev.At)
 		cp.scheduleAging(ev.KeyHash, pi.completeAt)
-		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertOK, ev.At)
+		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertOK, ev.At, ev.Tuple, ev.Version)
 	case err == cuckoo.ErrDuplicate:
 		cp.metrics.DuplicateLearns++
-		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertDuplicate, ev.At)
+		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertDuplicate, ev.At, ev.Tuple, ev.Version)
 	case err == cuckoo.ErrTableFull:
 		// §7: ConnTable acts as a cache; overflow connections stay
 		// unpinned (each packet re-resolves through VIPTable) unless a
 		// software tier picks them up through OnOverflow.
 		cp.metrics.Overflows++
-		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertOverflow, ev.At)
+		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertOverflow, ev.At, ev.Tuple, ev.Version)
 		if cp.cfg.OnOverflow != nil {
 			if dip, derr := cp.sw.SelectDIP(vip, ev.Version, ev.Tuple); derr == nil {
 				cp.cfg.OnOverflow(pi.completeAt, ev.Tuple, dip)
@@ -176,7 +179,7 @@ func (cp *ControlPlane) HandleResult(now simtime.Time, pkt *netproto.Packet, res
 // own entry, and re-inject) or a retransmitted SYN of a known connection
 // (forward as-is).
 func (cp *ControlPlane) resolveConnSYN(now simtime.Time, pkt *netproto.Packet, res dataplane.Result) dataplane.Result {
-	fixed, err := cp.sw.ResolveSYNCollision(pkt.Tuple, res)
+	fixed, err := cp.sw.ResolveSYNCollisionAt(now, pkt.Tuple, res)
 	if err != nil {
 		// Could not separate the keys (table pathologically full): fall
 		// back to forwarding by the matched entry.
@@ -243,7 +246,7 @@ func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple
 		res.Verdict = dataplane.VerdictNoBackend
 		return res
 	}
-	switch insErr := cp.sw.InsertConn(tuple, ver); insErr {
+	switch insErr := cp.sw.InsertConnAt(now, tuple, ver); insErr {
 	case nil:
 		cp.conns[res.KeyHash] = &connShadow{
 			tuple: tuple, vip: vc.vip, version: ver, installed: true, lastSeen: now,
@@ -251,13 +254,13 @@ func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple
 		vc.connsPerVer[ver]++
 		cp.metrics.Inserted++
 		cp.scheduleAging(res.KeyHash, now)
-		cp.traceInsert(now, vc.vip, kind, telemetry.InsertOK, now)
+		cp.traceInsert(now, vc.vip, kind, telemetry.InsertOK, now, tuple, ver)
 	case cuckoo.ErrTableFull:
 		cp.metrics.Overflows++
-		cp.traceInsert(now, vc.vip, kind, telemetry.InsertOverflow, now)
+		cp.traceInsert(now, vc.vip, kind, telemetry.InsertOverflow, now, tuple, ver)
 	case cuckoo.ErrDuplicate:
 		cp.metrics.DuplicateLearns++
-		cp.traceInsert(now, vc.vip, kind, telemetry.InsertDuplicate, now)
+		cp.traceInsert(now, vc.vip, kind, telemetry.InsertDuplicate, now, tuple, ver)
 	}
 	res.Verdict = dataplane.VerdictForward
 	res.Version = ver
@@ -322,16 +325,16 @@ func (cp *ControlPlane) EndConnection(now simtime.Time, tuple netproto.FiveTuple
 	if !ok {
 		return
 	}
-	cp.releaseShadow(kh, sh)
+	cp.releaseShadow(now, kh, sh)
 	cp.metrics.ConnsEnded++
 }
 
-func (cp *ControlPlane) releaseShadow(kh uint64, sh *connShadow) {
+func (cp *ControlPlane) releaseShadow(now simtime.Time, kh uint64, sh *connShadow) {
 	if cp.wheel != nil {
 		cp.wheel.Cancel(kh)
 	}
 	if sh.installed {
-		cp.sw.DeleteConn(sh.tuple)
+		cp.sw.DeleteConnAt(now, sh.tuple)
 		if vc, ok := cp.vips[sh.vip]; ok {
 			vc.connsPerVer[sh.version]--
 			cp.retireIfIdle(vc, sh.version)
@@ -360,7 +363,7 @@ func (cp *ControlPlane) age(now simtime.Time) {
 			continue
 		}
 		if now.Sub(sh.lastSeen) >= cp.cfg.AgingTimeout {
-			cp.releaseShadow(kh, sh)
+			cp.releaseShadow(now, kh, sh)
 			cp.metrics.AgedOut++
 			continue
 		}

@@ -6,15 +6,22 @@ import (
 	"repro/internal/telemetry"
 )
 
-// traceUpdateStep emits one OnUpdateStep event (no-op when untraced).
+// traceUpdateStep emits one OnUpdateStep event (no-op when untraced),
+// capturing the version bump and the before/after pools as the journal's
+// state delta.
 func (cp *ControlPlane) traceUpdateStep(now simtime.Time, vc *vipCtl,
-	step telemetry.UpdateStep, reqAt, execAt simtime.Time) {
+	step telemetry.UpdateStep, reqAt, execAt simtime.Time, prevVer, newVer uint32) {
 	if cp.tracer == nil {
 		return
 	}
 	cp.tracer.OnUpdateStep(telemetry.UpdateStepEvent{
 		Now: now, Pipe: cp.pipe, VIP: cp.sw.VIPTelemetry(vc.vip),
 		Step: step, ReqAt: reqAt, ExecAt: execAt,
+		Key:         vc.vip.TelemetryKey(),
+		PrevVersion: prevVer,
+		Version:     newVer,
+		Before:      clone(vc.pools[prevVer]),
+		After:       clone(vc.pools[newVer]),
 	})
 }
 
@@ -79,7 +86,7 @@ func (cp *ControlPlane) maybeStartUpdate(now simtime.Time, vc *vipCtl) {
 		cp.metrics.UpdatesCompleted++
 		// The ablation swaps instantly: the whole 3-step update collapses
 		// into one zero-duration transition.
-		cp.traceUpdateStep(now, vc, telemetry.StepDone, now, now)
+		cp.traceUpdateStep(now, vc, telemetry.StepDone, now, now, prev, newVer)
 		cp.retireIfIdle(vc, prev)
 		cp.maybeStartUpdate(now, vc)
 		return
@@ -97,7 +104,7 @@ func (cp *ControlPlane) maybeStartUpdate(now simtime.Time, vc *vipCtl) {
 	if err := cp.sw.SetRecording(vc.vip, true); err != nil {
 		panic("ctrlplane: SetRecording: " + err.Error())
 	}
-	cp.traceUpdateStep(now, vc, telemetry.StepRecording, vc.treq, 0)
+	cp.traceUpdateStep(now, vc, telemetry.StepRecording, vc.treq, 0, vc.curVer, newVer)
 }
 
 // chooseVersion picks the version number for a new pool: reuse an active
@@ -203,7 +210,8 @@ func (cp *ControlPlane) checkTransitions(now simtime.Time) bool {
 				vc.curVer = vc.pendingNewVer
 				vc.state = updTransition
 				vc.texec = now
-				cp.traceUpdateStep(now, vc, telemetry.StepTransition, vc.treq, vc.texec)
+				cp.traceUpdateStep(now, vc, telemetry.StepTransition, vc.treq, vc.texec,
+					vc.prevVer, vc.curVer)
 				changed = true
 			}
 		case updTransition:
@@ -235,7 +243,7 @@ func (cp *ControlPlane) finishUpdate(now simtime.Time, vc *vipCtl) {
 	if vc.state == updRecording {
 		texec = now
 	}
-	cp.traceUpdateStep(now, vc, telemetry.StepDone, vc.treq, texec)
+	cp.traceUpdateStep(now, vc, telemetry.StepDone, vc.treq, texec, vc.prevVer, vc.curVer)
 	vc.state = updIdle
 	cp.activeUpdates--
 	if cp.activeUpdates == 0 {

@@ -503,3 +503,67 @@ func (t *Table) Iterate(fn func(keyHash uint64, digest uint32, value uint32) boo
 
 // Lookups returns the number of Lookup calls served (hardware probe count).
 func (t *Table) Lookups() uint64 { return t.lookupsCounter }
+
+// StageStats describes the fill level of one physical stage — the raw
+// material for an SRAM occupancy heatmap.
+type StageStats struct {
+	Stage      int `json:"stage"`
+	Used       int `json:"used"`
+	Slots      int `json:"slots"`
+	DigestBits int `json:"digest_bits"`
+	EntryBits  int `json:"entry_bits"`
+}
+
+// StageOccupancy returns per-stage slot usage in stage (pipeline) order.
+func (t *Table) StageOccupancy() []StageStats {
+	out := make([]StageStats, t.cfg.Stages)
+	for s := range t.stages {
+		used := 0
+		for i := range t.stages[s] {
+			if t.stages[s][i].occupied {
+				used++
+			}
+		}
+		out[s] = StageStats{
+			Stage:      s,
+			Used:       used,
+			Slots:      t.cfg.BucketsPerStage * t.cfg.Ways,
+			DigestBits: t.stageBits[s],
+			EntryBits:  t.EntryBitsStage(s),
+		}
+	}
+	return out
+}
+
+// Entry is the introspection view of one installed entry: its physical
+// location plus the software shadow of its contents.
+type Entry struct {
+	Stage   int    `json:"stage"`
+	Bucket  int    `json:"bucket"`
+	Way     int    `json:"way"`
+	KeyHash uint64 `json:"key_hash"`
+	Digest  uint32 `json:"digest"`
+	Value   uint32 `json:"value"`
+}
+
+// Entries dumps every installed entry in physical (stage, bucket, way)
+// order. Intended for debug surfaces; cost is O(capacity).
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, t.len)
+	for s := range t.stages {
+		for i := range t.stages[s] {
+			sl := &t.stages[s][i]
+			if sl.occupied {
+				out = append(out, Entry{
+					Stage:   s,
+					Bucket:  i / t.cfg.Ways,
+					Way:     i % t.cfg.Ways,
+					KeyHash: sl.keyHash,
+					Digest:  sl.digest,
+					Value:   sl.value,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -148,6 +148,8 @@ type Result struct {
 	ConnHandle cuckoo.Handle
 	KeyHash    uint64
 	Digest     uint32
+	Metered    bool           // the VIP's meter saw this packet
+	Meter      regarray.Color // its color (valid only when Metered)
 }
 
 // Stats are the data plane's hardware counters.
@@ -328,14 +330,30 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 				Now: now, Pipe: s.pipe, VIP: tel, WireLen: pkt.WireLen(),
 			})
 		}
+		stage := -1
+		if res.ConnHit {
+			stage = res.ConnHandle.Stage
+		}
+		meter := telemetry.MeterNone
+		if res.Metered {
+			meter = telemetry.MeterColor(res.Meter)
+		}
 		s.tracer.OnVerdict(telemetry.VerdictEvent{
-			Now:     now,
-			Pipe:    s.pipe,
-			VIP:     tel,
-			Verdict: telemetry.Verdict(res.Verdict),
-			WireLen: pkt.WireLen(),
-			ConnHit: res.ConnHit,
-			Learned: res.Learned,
+			Now:        now,
+			Pipe:       s.pipe,
+			VIP:        tel,
+			Verdict:    telemetry.Verdict(res.Verdict),
+			WireLen:    pkt.WireLen(),
+			ConnHit:    res.ConnHit,
+			Learned:    res.Learned,
+			Tuple:      pkt.Tuple,
+			KeyHash:    res.KeyHash,
+			Digest:     res.Digest,
+			Version:    res.Version,
+			DIP:        res.DIP,
+			Stage:      stage,
+			TransitHit: res.TransitHit,
+			Meter:      meter,
 		})
 	}
 	return res
@@ -350,13 +368,18 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 		s.stats.NoVIP++
 		return Result{Verdict: VerdictNoVIP}, nil
 	}
-	if vs.meter != nil && vs.meter.Mark(now, pkt.WireLen()) == regarray.Red {
-		s.stats.MeterDrops++
-		return Result{Verdict: VerdictMeterDrop}, vs
+	var meterColor regarray.Color
+	metered := vs.meter != nil
+	if metered {
+		meterColor = vs.meter.Mark(now, pkt.WireLen())
+		if meterColor == regarray.Red {
+			s.stats.MeterDrops++
+			return Result{Verdict: VerdictMeterDrop, Metered: true, Meter: meterColor}, vs
+		}
 	}
 	keyHash := s.KeyHash(pkt.Tuple)
 	digest := s.ConnDigest(pkt.Tuple)
-	res := Result{KeyHash: keyHash, Digest: digest}
+	res := Result{KeyHash: keyHash, Digest: digest, Metered: metered, Meter: meterColor}
 
 	if ver, h, hit := s.conn.Lookup(keyHash, digest); hit {
 		s.stats.ConnHits++

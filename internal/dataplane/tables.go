@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/netproto"
 	"repro/internal/regarray"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // CPU-side table primitives. These mutate the hardware tables the way the
@@ -249,19 +251,61 @@ func (s *Switch) TransitInserts() int {
 }
 
 // InsertConn installs the connection entry tuple -> ver. The cuckoo search
-// and digest-alias fixes run as they would on the switch CPU.
+// and digest-alias fixes run as they would on the switch CPU. Telemetry is
+// stamped at virtual time zero; CPU-scheduled callers use InsertConnAt.
 func (s *Switch) InsertConn(t netproto.FiveTuple, ver uint32) error {
-	_, err := s.conn.Insert(s.KeyHash(t), s.ConnDigest(t), ver)
+	return s.InsertConnAt(0, t, ver)
+}
+
+// InsertConnAt is InsertConn with an explicit virtual time for the cuckoo
+// telemetry event (kick-chain length, alias relocations, table occupancy).
+func (s *Switch) InsertConnAt(now simtime.Time, t netproto.FiveTuple, ver uint32) error {
+	keyHash, digest := s.KeyHash(t), s.ConnDigest(t)
+	relocBefore := s.conn.Relocations
+	moves, err := s.conn.Insert(keyHash, digest, ver)
+	if s.tracer != nil {
+		s.tracer.OnCuckoo(telemetry.CuckooEvent{
+			Now:         now,
+			Pipe:        s.pipe,
+			Op:          telemetry.CuckooInsert,
+			KeyHash:     keyHash,
+			Digest:      digest,
+			Version:     ver,
+			Moves:       moves,
+			Relocations: s.conn.Relocations - relocBefore,
+			OK:          err == nil,
+			Len:         s.conn.Len(),
+			Capacity:    s.conn.Capacity(),
+		})
+	}
 	return err
 }
 
 // DeleteConn removes tuple's entry; it reports whether one existed.
+// Telemetry is stamped at virtual time zero; use DeleteConnAt when the
+// caller knows when the CPU performed the delete.
 func (s *Switch) DeleteConn(t netproto.FiveTuple) bool {
-	ok := s.conn.Delete(s.KeyHash(t))
+	return s.DeleteConnAt(0, t)
+}
+
+// DeleteConnAt is DeleteConn with an explicit virtual time for telemetry.
+func (s *Switch) DeleteConnAt(now simtime.Time, t netproto.FiveTuple) bool {
+	keyHash := s.KeyHash(t)
+	ok := s.conn.Delete(keyHash)
 	if ok && s.tracer != nil {
 		if vs, live := s.vips[VIPOf(t)]; live && vs.tel != nil {
 			vs.tel.ConnsEnded.Inc()
 		}
+		s.tracer.OnCuckoo(telemetry.CuckooEvent{
+			Now:      now,
+			Pipe:     s.pipe,
+			Op:       telemetry.CuckooDelete,
+			KeyHash:  keyHash,
+			Digest:   s.ConnDigest(t),
+			OK:       true,
+			Len:      s.conn.Len(),
+			Capacity: s.conn.Capacity(),
+		})
 	}
 	return ok
 }
@@ -286,6 +330,12 @@ func (s *Switch) LookupConn(t netproto.FiveTuple) (uint32, bool) {
 // keys separate; the caller then proceeds to learn/insert t normally.
 // It returns true if a genuine false positive was found and fixed.
 func (s *Switch) ResolveSYNCollision(t netproto.FiveTuple, res Result) (bool, error) {
+	return s.ResolveSYNCollisionAt(0, t, res)
+}
+
+// ResolveSYNCollisionAt is ResolveSYNCollision with an explicit virtual
+// time for the relocation (migration) telemetry event.
+func (s *Switch) ResolveSYNCollisionAt(now simtime.Time, t netproto.FiveTuple, res Result) (bool, error) {
 	kh, err := s.conn.EntryKeyHash(res.ConnHandle)
 	if err != nil {
 		return false, err
@@ -294,8 +344,24 @@ func (s *Switch) ResolveSYNCollision(t netproto.FiveTuple, res Result) (bool, er
 		// Retransmitted SYN of an already-installed connection: no action.
 		return false, nil
 	}
-	if err := s.conn.Relocate(res.ConnHandle); err != nil {
-		return false, fmt.Errorf("dataplane: relocating collided entry: %w", err)
+	relocBefore := s.conn.Relocations
+	relocErr := s.conn.Relocate(res.ConnHandle)
+	if s.tracer != nil {
+		s.tracer.OnCuckoo(telemetry.CuckooEvent{
+			Now:         now,
+			Pipe:        s.pipe,
+			Op:          telemetry.CuckooRelocate,
+			KeyHash:     kh, // the aliasing entry that migrated
+			Digest:      res.Digest,
+			Moves:       0,
+			Relocations: s.conn.Relocations - relocBefore,
+			OK:          relocErr == nil,
+			Len:         s.conn.Len(),
+			Capacity:    s.conn.Capacity(),
+		})
+	}
+	if relocErr != nil {
+		return false, fmt.Errorf("dataplane: relocating collided entry: %w", relocErr)
 	}
 	return true, nil
 }

@@ -169,6 +169,18 @@ func (f *Filter) OldestAt() (simtime.Time, bool) {
 	return f.first, true
 }
 
+// Pending returns a copy of the currently buffered batch in arrival order —
+// the filter's pending set, i.e. the connections inside the §4.2 window
+// between first packet and CPU hand-off. Intended for debug surfaces.
+func (f *Filter) Pending() []Event {
+	if len(f.batch) == 0 {
+		return nil
+	}
+	out := make([]Event, len(f.batch))
+	copy(out, f.batch)
+	return out
+}
+
 // Capacity returns the configured batch capacity.
 func (f *Filter) Capacity() int { return f.capacity }
 

@@ -330,3 +330,36 @@ func BenchmarkDecodeTCP4(b *testing.B) {
 		}
 	}
 }
+
+func TestParseFiveTuple(t *testing.T) {
+	want := FiveTuple{
+		Src:     netip.MustParseAddr("192.168.0.1"),
+		Dst:     netip.MustParseAddr("10.0.0.1"),
+		SrcPort: 1234, DstPort: 80, Proto: ProtoTCP,
+	}
+	for _, in := range []string{
+		"192.168.0.1:1234->10.0.0.1:80/tcp",
+		"tcp:192.168.0.1:1234->10.0.0.1:80",
+		want.String(),
+	} {
+		got, err := ParseFiveTuple(in)
+		if err != nil {
+			t.Fatalf("ParseFiveTuple(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseFiveTuple(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{
+		"",
+		"192.168.0.1:1234->10.0.0.1:80", // no protocol
+		"udp:192.168.0.1:1234",          // no arrow
+		"tcp:192.168.0.1->10.0.0.1:80",  // missing port
+		"tcp:192.168.0.1:1->::1:80",     // mixed families
+		"tcp:[::1]:1234->10.0.0.1:80",   // mixed families
+	} {
+		if _, err := ParseFiveTuple(in); err == nil {
+			t.Fatalf("ParseFiveTuple(%q): want error, got nil", in)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package netproto
 import (
 	"fmt"
 	"net/netip"
+	"strings"
 )
 
 // Proto is an IP protocol number.
@@ -54,6 +55,45 @@ func (t FiveTuple) String() string {
 // IsValid reports whether both addresses are set and of the same family.
 func (t FiveTuple) IsValid() bool {
 	return t.Src.IsValid() && t.Dst.IsValid() && t.Src.Is4() == t.Dst.Is4()
+}
+
+// ParseFiveTuple parses the String rendering, "src:port->dst:port/proto"
+// (e.g. "192.168.0.1:1234->10.0.0.1:80/tcp"). An optional "proto:" prefix
+// is also accepted ("tcp:src:port->dst:port"), matching the inspect CLI's
+// input form. Protocols: tcp, udp.
+func ParseFiveTuple(s string) (FiveTuple, error) {
+	var t FiveTuple
+	// Protocol, either prefixed or suffixed.
+	switch {
+	case strings.HasPrefix(s, "tcp:"):
+		t.Proto, s = ProtoTCP, s[len("tcp:"):]
+	case strings.HasPrefix(s, "udp:"):
+		t.Proto, s = ProtoUDP, s[len("udp:"):]
+	case strings.HasSuffix(s, "/tcp"):
+		t.Proto, s = ProtoTCP, s[:len(s)-len("/tcp")]
+	case strings.HasSuffix(s, "/udp"):
+		t.Proto, s = ProtoUDP, s[:len(s)-len("/udp")]
+	default:
+		return FiveTuple{}, fmt.Errorf("netproto: five-tuple %q: missing protocol (tcp:... or .../tcp)", s)
+	}
+	src, dst, ok := strings.Cut(s, "->")
+	if !ok {
+		return FiveTuple{}, fmt.Errorf("netproto: five-tuple %q: want src:port->dst:port", s)
+	}
+	sap, err := netip.ParseAddrPort(src)
+	if err != nil {
+		return FiveTuple{}, fmt.Errorf("netproto: five-tuple source %q: %w", src, err)
+	}
+	dap, err := netip.ParseAddrPort(dst)
+	if err != nil {
+		return FiveTuple{}, fmt.Errorf("netproto: five-tuple destination %q: %w", dst, err)
+	}
+	t.Src, t.SrcPort = sap.Addr(), sap.Port()
+	t.Dst, t.DstPort = dap.Addr(), dap.Port()
+	if !t.IsValid() {
+		return FiveTuple{}, fmt.Errorf("netproto: five-tuple %q: mixed or invalid address families", s)
+	}
+	return t, nil
 }
 
 // Reverse returns the tuple of the opposite direction.

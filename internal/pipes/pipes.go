@@ -135,6 +135,16 @@ func (e *Engine) Dataplane(i int) *dataplane.Switch { return e.pipes[i].dp }
 // Controlplane exposes pipe i's switch software (same caveat as Dataplane).
 func (e *Engine) Controlplane(i int) *ctrlplane.ControlPlane { return e.pipes[i].cp }
 
+// Inspect runs fn against pipe i's planes under the pipe lock, so debug
+// surfaces can read table state safely while ProcessBatch workers run on
+// other goroutines. fn must not retain the pointers past its return.
+func (e *Engine) Inspect(i int, fn func(dp *dataplane.Switch, cp *ctrlplane.ControlPlane)) {
+	p := e.pipes[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn(p.dp, p.cp)
+}
+
 // process runs one packet on pipe p. Callers hold p.mu.
 func (p *pipe) process(now simtime.Time, pkt *netproto.Packet) dataplane.Result {
 	p.cp.Advance(now)

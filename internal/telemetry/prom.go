@@ -9,8 +9,11 @@ import (
 )
 
 // WritePrometheus renders the snapshot in Prometheus text exposition
-// format (version 0.0.4). Output is deterministic: metric families and
-// label values are emitted in sorted order.
+// format (version 0.0.4). Output is deterministic and spec-clean: metric
+// families are emitted in ascending name order, each family's samples in
+// ascending label-set order (histogram buckets in ascending le order),
+// every family carries exactly one TYPE line, and label values are escaped
+// per the exposition spec (backslash, double-quote and newline).
 //
 // Name conventions: registry counters keep their registered names
 // (already _total-suffixed), histograms expand to _bucket/_sum/_count
@@ -19,47 +22,86 @@ import (
 // families labeled with pipe="N" (and verdict="..." for the verdict
 // breakdown).
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	var fams []promFamily
+
+	for name, v := range s.Counters {
+		fams = append(fams, promFamily{name: name, typ: "counter",
+			samples: []promSample{{value: formatPromUint(v)}}})
+	}
+	for name, v := range s.Gauges {
+		fams = append(fams, promFamily{name: name, typ: "gauge",
+			samples: []promSample{{value: fmt.Sprintf("%d", v)}}})
+	}
+	for name, h := range s.Histograms {
+		fams = append(fams, promHistogramFamily(name, h))
+	}
+	fams = append(fams, vipFamilies(s.VIPs)...)
+	fams = append(fams, pipeFamilies(s.Pipes)...)
+	fams = append(fams, promFamily{name: "silkroad_virtual_time_seconds", typ: "gauge",
+		samples: []promSample{{value: formatPromFloat(float64(s.Now) / 1e9)}}})
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
 	var b strings.Builder
-
-	for _, name := range sortedKeys(s.Counters) {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, smp := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(smp.suffix)
+			b.WriteString(smp.labels)
+			b.WriteByte(' ')
+			b.WriteString(smp.value)
+			b.WriteByte('\n')
+		}
 	}
-	for _, name := range sortedKeys(s.Gauges) {
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name])
-	}
-	for _, name := range sortedKeys(s.Histograms) {
-		writePromHistogram(&b, name, s.Histograms[name])
-	}
-
-	writeVIPFamilies(&b, s.VIPs)
-	writePipeFamilies(&b, s.Pipes)
-
-	fmt.Fprintf(&b, "# TYPE silkroad_virtual_time_seconds gauge\nsilkroad_virtual_time_seconds %s\n",
-		formatPromFloat(float64(s.Now)/1e9))
-
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-func writePromHistogram(b *strings.Builder, name string, h HistogramSnapshot) {
-	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+// promFamily is one metric family: a name, a type, and its samples in
+// final emission order.
+type promFamily struct {
+	name    string
+	typ     string
+	samples []promSample
+}
+
+// promSample is one exposition line: name+suffix+labels value.
+type promSample struct {
+	suffix string // _bucket/_sum/_count for histograms, else empty
+	labels string // rendered {k="v",...} block, or empty
+	value  string
+}
+
+// promHistogramFamily expands a histogram snapshot into its
+// _bucket/_sum/_count samples, buckets in ascending le order as the spec
+// requires (not lexical).
+func promHistogramFamily(name string, h HistogramSnapshot) promFamily {
+	f := promFamily{name: name, typ: "histogram"}
 	var cum int64
 	for i, bound := range h.Bounds {
 		cum += h.Counts[i]
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatPromFloat(bound), cum)
+		f.samples = append(f.samples, promSample{
+			suffix: "_bucket",
+			labels: promLabels("le", formatPromFloat(bound)),
+			value:  formatPromInt(cum),
+		})
 	}
 	cum += h.Counts[len(h.Bounds)]
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(b, "%s_sum %s\n", name, formatPromFloat(h.Sum))
-	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
+	f.samples = append(f.samples,
+		promSample{suffix: "_bucket", labels: promLabels("le", "+Inf"), value: formatPromInt(cum)},
+		promSample{suffix: "_sum", value: formatPromFloat(h.Sum)},
+		promSample{suffix: "_count", value: formatPromInt(h.Count)},
+	)
+	return f
 }
 
-func writeVIPFamilies(b *strings.Builder, vips map[string]VIPSnapshot) {
+func vipFamilies(vips map[string]VIPSnapshot) []promFamily {
 	if len(vips) == 0 {
-		return
+		return nil
 	}
 	labels := sortedKeys(vips)
-	families := []struct {
+	defs := []struct {
 		name string
 		get  func(VIPSnapshot) uint64
 	}{
@@ -73,39 +115,86 @@ func writeVIPFamilies(b *strings.Builder, vips map[string]VIPSnapshot) {
 		{"silkroad_vip_conns_total", func(v VIPSnapshot) uint64 { return v.Conns }},
 		{"silkroad_vip_conns_ended_total", func(v VIPSnapshot) uint64 { return v.ConnsEnded }},
 	}
-	for _, f := range families {
-		fmt.Fprintf(b, "# TYPE %s counter\n", f.name)
+	out := make([]promFamily, 0, len(defs))
+	for _, d := range defs {
+		f := promFamily{name: d.name, typ: "counter"}
 		for _, l := range labels {
-			fmt.Fprintf(b, "%s{vip=%q} %d\n", f.name, l, f.get(vips[l]))
+			f.samples = append(f.samples, promSample{
+				labels: promLabels("vip", l),
+				value:  formatPromUint(d.get(vips[l])),
+			})
 		}
+		out = append(out, f)
 	}
+	return out
 }
 
-func writePipeFamilies(b *strings.Builder, pipes []PipeSnapshot) {
+func pipeFamilies(pipes []PipeSnapshot) []promFamily {
 	if len(pipes) == 0 {
-		return
+		return nil
 	}
-	fmt.Fprintf(b, "# TYPE silkroad_pipe_packets_total counter\n")
+	packets := promFamily{name: "silkroad_pipe_packets_total", typ: "counter"}
+	bytes := promFamily{name: "silkroad_pipe_bytes_total", typ: "counter"}
+	verdicts := promFamily{name: "silkroad_pipe_verdicts_total", typ: "counter"}
 	for _, p := range pipes {
-		fmt.Fprintf(b, "silkroad_pipe_packets_total{pipe=\"%d\"} %d\n", p.Pipe, p.Packets)
-	}
-	fmt.Fprintf(b, "# TYPE silkroad_pipe_bytes_total counter\n")
-	for _, p := range pipes {
-		fmt.Fprintf(b, "silkroad_pipe_bytes_total{pipe=\"%d\"} %d\n", p.Pipe, p.Bytes)
-	}
-	fmt.Fprintf(b, "# TYPE silkroad_pipe_verdicts_total counter\n")
-	for _, p := range pipes {
-		verdicts := make([]string, 0, len(p.Verdicts))
-		for v := range p.Verdicts {
-			verdicts = append(verdicts, v)
-		}
-		sort.Strings(verdicts)
-		for _, v := range verdicts {
-			fmt.Fprintf(b, "silkroad_pipe_verdicts_total{pipe=\"%d\",verdict=%q} %d\n",
-				p.Pipe, v, p.Verdicts[v])
+		pipe := fmt.Sprintf("%d", p.Pipe)
+		packets.samples = append(packets.samples, promSample{
+			labels: promLabels("pipe", pipe), value: formatPromUint(p.Packets)})
+		bytes.samples = append(bytes.samples, promSample{
+			labels: promLabels("pipe", pipe), value: formatPromUint(p.Bytes)})
+		names := sortedKeys(p.Verdicts)
+		for _, v := range names {
+			verdicts.samples = append(verdicts.samples, promSample{
+				labels: promLabels("pipe", pipe, "verdict", v),
+				value:  formatPromUint(p.Verdicts[v]),
+			})
 		}
 	}
+	return []promFamily{packets, bytes, verdicts}
 }
+
+// promLabels renders a {k="v",...} block from alternating key/value pairs,
+// escaping values per the exposition spec.
+func promLabels(kv ...string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escaping rules for label
+// values: backslash, double-quote and line feed.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatPromUint(v uint64) string { return fmt.Sprintf("%d", v) }
+func formatPromInt(v int64) string   { return fmt.Sprintf("%d", v) }
 
 // formatPromFloat renders a float the way Prometheus expects: shortest
 // round-trip representation, with +Inf spelled out.

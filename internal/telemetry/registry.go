@@ -56,6 +56,18 @@ const (
 	MetricLearnBatch = "silkroad_learn_batch_size"
 	// MetricMeterDropBytes counts wire bytes dropped by VIP meters.
 	MetricMeterDropBytes = "silkroad_meter_dropped_bytes_total"
+	// MetricCuckooKickChain is the displacement-chain length distribution of
+	// ConnTable insertions (0 = direct placement; §4.1's BFS moves).
+	MetricCuckooKickChain = "silkroad_cuckoo_kick_chain_moves"
+	// MetricCuckooRelocations counts entries migrated to another stage to
+	// resolve digest aliases (§4.2).
+	MetricCuckooRelocations = "silkroad_cuckoo_relocations_total"
+	// MetricCuckooFailures counts ConnTable mutations that failed (no
+	// insertion path, unresolved alias).
+	MetricCuckooFailures = "silkroad_cuckoo_failures_total"
+	// MetricConnTableOccupancy is ConnTable entries per million slots after
+	// the most recent mutation (chip-wide last-writer-wins across pipes).
+	MetricConnTableOccupancy = "silkroad_conntable_occupancy_ppm"
 )
 
 // Default histogram bounds. Virtual-time histograms span 10 µs to 1 s,
@@ -66,6 +78,7 @@ var (
 		10e-6, 30e-6, 100e-6, 300e-6, 1e-3, 3e-3, 10e-3, 30e-3, 100e-3, 300e-3, 1,
 	}
 	batchBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	kickBounds  = []float64{0, 1, 2, 4, 8, 16, 32, 64}
 )
 
 // pipeSeries is the per-pipe accumulator behind OnVerdict.
@@ -110,9 +123,12 @@ type Registry struct {
 	updatesRequested, updatesCompleted  *Counter
 	learnFlushes, learnFullFlushes      *Counter
 	meterDropBytes                      *Counter
+	cuckooRelocations, cuckooFailures   *Counter
 	queueDepth, queuePeak               *Gauge
+	connOccupancy                       *Gauge
 	pendingWindow, learnBatch           *Histogram
 	updRecord, updTransition, updTotal  *Histogram
+	kickChain                           *Histogram
 }
 
 // NewRegistry creates a registry with every built-in instrument
@@ -145,6 +161,10 @@ func NewRegistry() *Registry {
 	r.updRecord = r.Histogram(MetricUpdateRecord, durationBounds)
 	r.updTransition = r.Histogram(MetricUpdateTransition, durationBounds)
 	r.updTotal = r.Histogram(MetricUpdateTotal, durationBounds)
+	r.cuckooRelocations = r.Counter(MetricCuckooRelocations)
+	r.cuckooFailures = r.Counter(MetricCuckooFailures)
+	r.connOccupancy = r.Gauge(MetricConnTableOccupancy)
+	r.kickChain = r.Histogram(MetricCuckooKickChain, kickBounds)
 	return r
 }
 
@@ -299,6 +319,23 @@ func (r *Registry) OnLearnFlush(e LearnFlushEvent) {
 		r.learnFullFlushes.Inc()
 	}
 	r.learnBatch.Observe(float64(e.Batch))
+}
+
+// OnCuckoo implements Tracer: kick-chain distribution, relocation and
+// failure counters, and the post-mutation occupancy gauge.
+func (r *Registry) OnCuckoo(e CuckooEvent) {
+	if e.Op == CuckooInsert {
+		r.kickChain.Observe(float64(e.Moves))
+	}
+	if e.Relocations > 0 {
+		r.cuckooRelocations.Add(uint64(e.Relocations))
+	}
+	if !e.OK {
+		r.cuckooFailures.Inc()
+	}
+	if e.Capacity > 0 {
+		r.connOccupancy.Set(int64(e.Len) * 1_000_000 / int64(e.Capacity))
+	}
 }
 
 // OnMeterDrop implements Tracer.

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"repro/internal/netproto"
 	"repro/internal/simtime"
 )
 
@@ -137,6 +138,20 @@ const (
 	InsertOverflow                       // ConnTable full; left unpinned
 )
 
+// String names the outcome.
+func (o InsertOutcome) String() string {
+	switch o {
+	case InsertOK:
+		return "ok"
+	case InsertDuplicate:
+		return "duplicate"
+	case InsertOverflow:
+		return "overflow"
+	default:
+		return fmt.Sprintf("outcome_%d", uint8(o))
+	}
+}
+
 // UpdateStep is a state transition of the 3-step PCC update (Figure 9).
 type UpdateStep uint8
 
@@ -170,8 +185,42 @@ func (s UpdateStep) String() string {
 	}
 }
 
+// MeterColor mirrors regarray.Color without importing that package (the
+// numeric values match: 0 green, 1 yellow, 2 red; 255 = unmetered VIP).
+type MeterColor uint8
+
+// Meter colors.
+const (
+	MeterGreen  MeterColor = 0
+	MeterYellow MeterColor = 1
+	MeterRed    MeterColor = 2
+	// MeterNone marks packets of unmetered VIPs.
+	MeterNone MeterColor = 255
+)
+
+// String names the color.
+func (c MeterColor) String() string {
+	switch c {
+	case MeterGreen:
+		return "green"
+	case MeterYellow:
+		return "yellow"
+	case MeterRed:
+		return "red"
+	case MeterNone:
+		return "none"
+	default:
+		return fmt.Sprintf("color_%d", uint8(c))
+	}
+}
+
 // VerdictEvent reports one packet's pipeline outcome (the hardware
-// verdict, before any CPU arbitration rewrites it).
+// verdict, before any CPU arbitration rewrites it). Beyond the counters
+// the Registry folds it into, the event carries the packet's full INT-style
+// decision path — which connection, which ConnTable stage matched, the
+// digest, the bloom outcome, the meter color and the chosen DIP — so a
+// flight recorder can reconstruct "why did this flow land on that DIP"
+// per packet.
 type VerdictEvent struct {
 	Now     simtime.Time
 	Pipe    int
@@ -180,6 +229,16 @@ type VerdictEvent struct {
 	WireLen int  // bytes on the wire
 	ConnHit bool // served from ConnTable
 	Learned bool // generated a learn event
+
+	// Trace path (INT-style annotations).
+	Tuple      netproto.FiveTuple // the packet's connection
+	KeyHash    uint64             // 64-bit connection key hash
+	Digest     uint32             // ConnTable match digest
+	Version    uint32             // DIP pool version the decision used
+	DIP        netip.AddrPort     // chosen backend (zero when none)
+	Stage      int                // ConnTable stage that matched; -1 on miss
+	TransitHit bool               // TransitTable bloom said "pending"
+	Meter      MeterColor         // meter outcome (MeterNone when unmetered)
 }
 
 // InsertEvent reports one ConnTable insertion attempt.
@@ -189,6 +248,11 @@ type InsertEvent struct {
 	VIP     *VIPSeries // nil if the VIP was withdrawn meanwhile
 	Kind    InsertKind
 	Outcome InsertOutcome
+	// Tuple identifies the inserted connection and Version the pool version
+	// it was pinned to (flow-trace annotations; Tuple may be zero for
+	// tracers that only aggregate).
+	Tuple   netproto.FiveTuple
+	Version uint32
 	// ArrivedAt is when the connection's first packet was seen (SYN seen);
 	// Now - ArrivedAt is the pending window the paper reasons about. Only
 	// meaningful for InsertLearned.
@@ -197,7 +261,9 @@ type InsertEvent struct {
 	QueueDepth int
 }
 
-// UpdateStepEvent reports a PCC update state transition.
+// UpdateStepEvent reports a PCC update state transition. Key, the version
+// pair and the pool delta identify the update for event-journal purposes;
+// aggregate tracers may ignore them.
 type UpdateStepEvent struct {
 	Now  simtime.Time
 	Pipe int
@@ -207,6 +273,16 @@ type UpdateStepEvent struct {
 	// before StepTransition).
 	ReqAt  simtime.Time
 	ExecAt simtime.Time
+	// Key names the VIP (VIP above is only an accumulator handle).
+	Key VIPKey
+	// PrevVersion -> Version is the version bump this update performs
+	// (meaningful from StepRecording on; equal before a version is chosen).
+	PrevVersion uint32
+	Version     uint32
+	// Before and After are the pool contents the update moves between
+	// (nil when the emitting step does not know them, e.g. StepRequested).
+	Before []netip.AddrPort
+	After  []netip.AddrPort
 }
 
 // LearnFlushEvent reports one learning-filter drain.
@@ -223,6 +299,59 @@ type MeterDropEvent struct {
 	Pipe    int
 	VIP     *VIPSeries
 	WireLen int
+}
+
+// CuckooOp classifies a ConnTable (cuckoo) mutation.
+type CuckooOp uint8
+
+// Cuckoo operations.
+const (
+	// CuckooInsert: a CPU insertion, possibly after a displacement (kick)
+	// chain freed a slot.
+	CuckooInsert CuckooOp = iota
+	// CuckooRelocate: an entry migrated to a different stage to resolve a
+	// digest alias (the paper's SYN-collision fix).
+	CuckooRelocate
+	// CuckooDelete: an entry removed (connection ended or aged out).
+	CuckooDelete
+)
+
+// String names the operation.
+func (o CuckooOp) String() string {
+	switch o {
+	case CuckooInsert:
+		return "insert"
+	case CuckooRelocate:
+		return "relocate"
+	case CuckooDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op_%d", uint8(o))
+	}
+}
+
+// CuckooEvent reports one ConnTable mutation with the paper's §4.1-4.2
+// hardware detail: the BFS kick-chain length of an insertion, alias
+// relocations, and the resulting occupancy. The control plane emits it for
+// every InsertConn/Relocate/DeleteConn it performs.
+type CuckooEvent struct {
+	Now     simtime.Time
+	Pipe    int
+	Op      CuckooOp
+	KeyHash uint64
+	Digest  uint32
+	Version uint32
+	// Moves is the displacement (kick) chain length of an insertion: 0 for
+	// a direct placement, n when n occupants were shifted to make room.
+	Moves int
+	// Relocations is how many aliasing entries this operation migrated to
+	// another stage (post-insert verification or SYN arbitration).
+	Relocations int
+	// OK is false when the operation failed (table full, unresolved alias).
+	OK bool
+	// Len and Capacity give the table occupancy after the operation.
+	Len      int
+	Capacity int
 }
 
 // Tracer receives events from the traced components. Implementations must
@@ -242,6 +371,9 @@ type Tracer interface {
 	OnUpdateStep(e UpdateStepEvent)
 	OnLearnFlush(e LearnFlushEvent)
 	OnMeterDrop(e MeterDropEvent)
+	// OnCuckoo reports ConnTable mutations with kick-chain and relocation
+	// detail (§4.1-4.2 hardware behaviour invisible to the other hooks).
+	OnCuckoo(e CuckooEvent)
 }
 
 // NopTracer is a Tracer that ignores everything; embed it to implement
@@ -265,3 +397,6 @@ func (NopTracer) OnLearnFlush(LearnFlushEvent) {}
 
 // OnMeterDrop implements Tracer.
 func (NopTracer) OnMeterDrop(MeterDropEvent) {}
+
+// OnCuckoo implements Tracer.
+func (NopTracer) OnCuckoo(CuckooEvent) {}

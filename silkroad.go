@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/ctrlplane"
 	"repro/internal/dataplane"
+	"repro/internal/flightrec"
 	"repro/internal/health"
 	"repro/internal/netproto"
 	"repro/internal/pipes"
@@ -74,11 +75,32 @@ type (
 	TelemetrySnapshot = telemetry.Snapshot
 	// PipeStats is one pipe's counters as reported by Switch.PerPipe.
 	PipeStats = pipes.PipeStats
+	// FlightRecorder captures per-packet traces and a control-plane event
+	// journal in fixed-size rings; attach one via Config.FlightRecorder.
+	FlightRecorder = flightrec.Recorder
+	// FlightRecorderConfig sizes a flight recorder's rings and sampling.
+	FlightRecorderConfig = flightrec.Config
+	// Flow is an armed flow filter returned by Switch.Trace.
+	Flow = flightrec.Flow
+	// PacketRecord is one INT-style per-packet trace record.
+	PacketRecord = flightrec.PacketRecord
+	// JournalRecord is one control-plane journal entry.
+	JournalRecord = flightrec.JournalRecord
 )
 
 // NewTelemetry creates a metrics registry ready to attach to a switch via
 // Config.Telemetry.
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// NewFlightRecorder creates a flight recorder ready to attach via
+// Config.FlightRecorder. The zero config uses the default ring sizes
+// (4096 packet records, 8192 journal records) with sampling off.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	return flightrec.New(cfg)
+}
+
+// ErrNoRecorder: the switch was built without a flight recorder.
+var ErrNoRecorder = errors.New("no flight recorder attached")
 
 // WritePrometheus renders a telemetry snapshot in Prometheus text
 // exposition format.
@@ -136,6 +158,11 @@ type Config struct {
 	// into it, and Switch.Telemetry exposes it for scraping. Nil keeps the
 	// hot path telemetry-free (one branch per event site).
 	Telemetry *Telemetry
+	// FlightRecorder, when non-nil, attaches a flight recorder: per-packet
+	// trace rings for armed/sampled flows and a control-plane event journal.
+	// It wraps Telemetry (when both are set) so the data plane still sees a
+	// single tracer, keeping the untraced hot path at one branch.
+	FlightRecorder *FlightRecorder
 }
 
 // Defaults returns the paper's operating point for a switch provisioned
@@ -175,42 +202,93 @@ type Switch struct {
 	// nil in that mode and every operation routes through the engine.
 	multi *pipes.Engine
 
-	tel *Telemetry // nil when no registry is attached
+	tel *Telemetry      // nil when no registry is attached
+	rec *FlightRecorder // nil when no flight recorder is attached
+}
+
+// tracerFor composes the configured observability sinks into the single
+// Tracer the data plane sees: the flight recorder wraps the registry when
+// both are present. The nil return keeps the tracer==nil fast path — a nil
+// *Telemetry boxed into the Tracer interface would defeat it.
+func tracerFor(cfg Config) telemetry.Tracer {
+	switch {
+	case cfg.FlightRecorder != nil:
+		if cfg.Telemetry != nil {
+			cfg.FlightRecorder.SetInner(cfg.Telemetry)
+		}
+		return cfg.FlightRecorder
+	case cfg.Telemetry != nil:
+		return cfg.Telemetry
+	default:
+		return nil
+	}
 }
 
 // NewSwitch builds a switch from cfg.
 func NewSwitch(cfg Config) (*Switch, error) {
+	tracer := tracerFor(cfg)
 	if cfg.Pipes > 1 {
 		pcfg := pipes.Config{
 			Pipes:        cfg.Pipes,
 			Dataplane:    cfg.Dataplane,
 			Controlplane: cfg.Controlplane,
 		}
-		if cfg.Telemetry != nil {
-			// Assign only when non-nil: a nil *Telemetry boxed into the
-			// Tracer interface would defeat the tracer==nil fast path.
-			pcfg.Tracer = cfg.Telemetry
+		if tracer != nil {
+			pcfg.Tracer = tracer
 		}
 		eng, err := pipes.New(pcfg)
 		if err != nil {
 			return nil, err
 		}
-		return &Switch{multi: eng, tel: cfg.Telemetry}, nil
+		return &Switch{multi: eng, tel: cfg.Telemetry, rec: cfg.FlightRecorder}, nil
 	}
 	dcfg := cfg.Dataplane
-	if cfg.Telemetry != nil {
-		dcfg.Tracer = cfg.Telemetry
+	if tracer != nil {
+		dcfg.Tracer = tracer
 	}
 	dp, err := dataplane.New(dcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Switch{dp: dp, cp: ctrlplane.New(dp, cfg.Controlplane), tel: cfg.Telemetry}, nil
+	return &Switch{
+		dp:  dp,
+		cp:  ctrlplane.New(dp, cfg.Controlplane),
+		tel: cfg.Telemetry,
+		rec: cfg.FlightRecorder,
+	}, nil
 }
 
 // Telemetry returns the attached metrics registry, or nil when the switch
 // was built without one.
 func (s *Switch) Telemetry() *Telemetry { return s.tel }
+
+// FlightRecorder returns the attached flight recorder, or nil when the
+// switch was built without one.
+func (s *Switch) FlightRecorder() *FlightRecorder { return s.rec }
+
+// Trace arms the flight recorder's flow filter for t and returns a handle
+// whose Records method yields the connection's recorded pipeline path (one
+// PacketRecord per packet, plus the CPU insertion that installed its
+// ConnTable entry). Stop the handle to disarm. Fails with ErrNoRecorder if
+// the switch has no flight recorder attached.
+func (s *Switch) Trace(t FiveTuple) (*Flow, error) {
+	if s.rec == nil {
+		return nil, fmt.Errorf("silkroad: %w", ErrNoRecorder)
+	}
+	return s.rec.Arm(t), nil
+}
+
+// inspect runs fn against pipe i's data and control plane under that
+// pipe's lock — the shared plumbing for the debug endpoints' table dumps.
+func (s *Switch) inspect(i int, fn func(dp *dataplane.Switch, cp *ctrlplane.ControlPlane)) {
+	if s.multi != nil {
+		s.multi.Inspect(i, fn)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.dp, s.cp)
+}
 
 // Pipes returns the number of forwarding pipelines the switch runs.
 func (s *Switch) Pipes() int {

@@ -282,16 +282,25 @@ func TestTelemetryConcurrentMultiPipe(t *testing.T) {
 
 // --- hot-path overhead benchmarks ---------------------------------------
 //
-// BenchmarkProcessBatch{NilTracer,Telemetry} measure the same 4-pipe batch
-// workload with and without the default registry attached; CI runs both as
-// a smoke against hot-path regressions (the registry must stay within a
-// few percent of the nil tracer).
+// BenchmarkProcessBatch{NilTracer,Telemetry,Recorder} measure the same
+// 4-pipe batch workload with no tracer, with the default registry, and
+// with a flight recorder (one armed flow not in the batch) wrapping the
+// registry; CI runs all three as a smoke against hot-path regressions
+// (both attached variants must stay within a few percent of the nil
+// tracer — the recorder's untraced fast path is one atomic load).
 
-func benchProcessBatch(b *testing.B, attach bool) {
+func benchProcessBatch(b *testing.B, mode string) {
 	cfg := Defaults(1_000_000)
 	cfg.Pipes = 4
-	if attach {
+	switch mode {
+	case "nil":
+	case "telemetry":
 		cfg.Telemetry = NewTelemetry()
+	case "recorder":
+		cfg.Telemetry = NewTelemetry()
+		cfg.FlightRecorder = NewFlightRecorder(FlightRecorderConfig{})
+	default:
+		b.Fatalf("unknown bench mode %q", mode)
 	}
 	sw, err := NewSwitch(cfg)
 	if err != nil {
@@ -299,6 +308,13 @@ func benchProcessBatch(b *testing.B, attach bool) {
 	}
 	if err := sw.AddVIP(0, testVIP(), Pool("10.0.0.1:20", "10.0.0.2:20", "10.0.0.3:20")); err != nil {
 		b.Fatal(err)
+	}
+	if mode == "recorder" {
+		// Arm a flow that never appears in the batch: the per-packet cost
+		// under measurement is the armed!=0 filter lookup, not recording.
+		if _, err := sw.Trace(clientPkt(1_000_000, 0).Tuple); err != nil {
+			b.Fatal(err)
+		}
 	}
 	const conns = 8192
 	const batchSize = 256
@@ -322,5 +338,6 @@ func benchProcessBatch(b *testing.B, attach bool) {
 	}
 }
 
-func BenchmarkProcessBatchNilTracer(b *testing.B) { benchProcessBatch(b, false) }
-func BenchmarkProcessBatchTelemetry(b *testing.B) { benchProcessBatch(b, true) }
+func BenchmarkProcessBatchNilTracer(b *testing.B) { benchProcessBatch(b, "nil") }
+func BenchmarkProcessBatchTelemetry(b *testing.B) { benchProcessBatch(b, "telemetry") }
+func BenchmarkProcessBatchRecorder(b *testing.B)  { benchProcessBatch(b, "recorder") }
