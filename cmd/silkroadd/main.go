@@ -5,8 +5,11 @@
 // rewritten packet as a UDP datagram to that DIP.
 //
 // This is the "zero-to-forwarding" demo of the data path; production
-// deployment of the real system is a P4 program on an ASIC. Virtual time
-// is driven from the wall clock at startup.
+// deployment of the real system is a P4 program on an ASIC. The switch
+// runs on its wall-clock event runtime (Switch.Run): learning-filter
+// drains, CPU insertions, PCC update steps, connection aging and periodic
+// stats all execute autonomously — the daemon never advances time by hand.
+// SIGINT/SIGTERM shut it down cleanly with a final metrics snapshot.
 //
 //	silkroadd -listen :9000 -vip 20.0.0.1:80 -dips 127.0.0.1:9001,127.0.0.1:9002
 //
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	silkroad "repro"
@@ -100,14 +105,31 @@ func main() {
 	}
 	defer out.Close()
 
-	start := time.Now()
-	now := func() silkroad.Time { return silkroad.Time(time.Since(start).Nanoseconds()) }
+	// Lifecycle: ctx is cancelled by SIGINT/SIGTERM. The event runtime, the
+	// metrics server and the socket read loop all key off it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
+	// The wall-clock event runtime: learning-filter drains, CPU insertions,
+	// update transitions and aging run autonomously from here on.
+	runDone := make(chan error, 1)
+	go func() { runDone <- sw.Run(ctx) }()
+
+	// Periodic stats as a runtime task (replaces the old unstoppable
+	// time.Tick goroutine, which leaked its ticker for the process lifetime).
+	stopStats := sw.Every(silkroad.Duration((*stats).Nanoseconds()), func(now silkroad.Time) {
+		st := sw.Stats()
+		log.Printf("stats: packets=%d hits=%d misses=%d conns=%d sram=%dB",
+			st.Dataplane.Packets, st.Dataplane.ConnHits, st.Dataplane.ConnMisses,
+			st.Connections, st.MemoryBytes)
+	})
+
+	var srv *http.Server
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if err := silkroad.WritePrometheus(w, telemetry.Snapshot(now())); err != nil {
+			if err := silkroad.WritePrometheus(w, telemetry.Snapshot(sw.Now())); err != nil {
 				log.Printf("silkroadd: metrics write: %v", err)
 			}
 		})
@@ -120,30 +142,20 @@ func main() {
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 			log.Printf("silkroadd: debug surface on http://%s/debug/silkroad/ (pprof at /debug/pprof/)", *metricsAddr)
 		}
+		srv = &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			log.Printf("silkroadd: serving Prometheus metrics on http://%s/metrics", *metricsAddr)
-			log.Fatalf("silkroadd: metrics server: %v", http.ListenAndServe(*metricsAddr, mux))
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("silkroadd: metrics server: %v", err)
+			}
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	// Unblock the read loop when the context falls: closing the socket makes
+	// ReadFromUDP return net.ErrClosed.
 	go func() {
-		<-sig
-		st := sw.Stats()
-		fmt.Printf("\nfinal stats: packets=%d hits=%d misses=%d inserted=%d conns=%d\n",
-			st.Dataplane.Packets, st.Dataplane.ConnHits, st.Dataplane.ConnMisses,
-			st.Controlplane.Inserted, st.Connections)
-		os.Exit(0)
-	}()
-
-	go func() {
-		for range time.Tick(*stats) {
-			st := sw.Stats()
-			log.Printf("stats: packets=%d hits=%d misses=%d conns=%d sram=%dB",
-				st.Dataplane.Packets, st.Dataplane.ConnHits, st.Dataplane.ConnMisses,
-				st.Connections, st.MemoryBytes)
-		}
+		<-ctx.Done()
+		pc.Close()
 	}()
 
 	buf := make([]byte, 65536)
@@ -151,7 +163,11 @@ func main() {
 	for {
 		n, _, err := pc.ReadFromUDP(buf)
 		if err != nil {
-			log.Fatalf("silkroadd: read: %v", err)
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				break
+			}
+			log.Printf("silkroadd: read: %v", err)
+			continue
 		}
 		pkt := buf[:n]
 		if err := netproto.Decode(pkt, &decoded); err != nil {
@@ -162,10 +178,11 @@ func main() {
 			dip     silkroad.DIP
 			payload []byte
 		)
+		now := sw.Now()
 		if *mode == "ipip" {
-			payload, dip, err = sw.ForwardIPIP(now(), pkt, self)
+			payload, dip, err = sw.ForwardIPIP(now, pkt, self)
 		} else {
-			dip, err = sw.Forward(now(), pkt)
+			dip, err = sw.Forward(now, pkt)
 			payload = pkt
 		}
 		if err != nil {
@@ -191,6 +208,28 @@ func main() {
 		if _, err := out.WriteToUDP(payload, dst); err != nil {
 			log.Printf("silkroadd: forward to %v: %v", dip, err)
 		}
+	}
+
+	// Graceful shutdown: stop periodic work, wait for the runtime's final
+	// catch-up pass, drain the metrics server, then report.
+	log.Printf("silkroadd: shutting down")
+	stopStats()
+	if err := <-runDone; err != nil {
+		log.Printf("silkroadd: runtime: %v", err)
+	}
+	if srv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("silkroadd: metrics server shutdown: %v", err)
+		}
+		cancel()
+	}
+	st := sw.Stats()
+	fmt.Printf("final stats: packets=%d hits=%d misses=%d inserted=%d conns=%d\n",
+		st.Dataplane.Packets, st.Dataplane.ConnHits, st.Dataplane.ConnMisses,
+		st.Controlplane.Inserted, st.Connections)
+	if err := silkroad.WritePrometheus(os.Stdout, telemetry.Snapshot(sw.Now())); err != nil {
+		log.Printf("silkroadd: final metrics snapshot: %v", err)
 	}
 }
 

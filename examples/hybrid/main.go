@@ -4,6 +4,11 @@
 // holds for every connection while the vast majority of traffic stays in
 // hardware.
 //
+// The balancer's background work (learning-filter drains, CPU insertions,
+// update transitions) rides the unified event scheduler: the balancer is
+// registered as a due-work source and sched.Scheduler.RunUntil retires its
+// deadlines in time order — the same virtual-time driver flowsim runs on.
+//
 // Run with: go run ./examples/hybrid
 package main
 
@@ -16,6 +21,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/hybrid"
 	"repro/internal/netproto"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/slb"
 )
@@ -27,6 +33,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	rt := sched.New()
+	rt.AddSource(b)
 	vip := dataplane.VIP{Addr: netip.MustParseAddr("20.0.0.1"), Port: 80, Proto: netproto.ProtoTCP}
 	pool := make([]dataplane.DIP, 8)
 	for i := range pool {
@@ -55,7 +63,8 @@ func main() {
 		first[i] = dip
 		now = now.Add(simtime.Duration(20 * simtime.Microsecond))
 	}
-	b.Advance(now.Add(simtime.Duration(simtime.Second)))
+	now = now.Add(simtime.Duration(simtime.Second))
+	rt.RunUntil(now)
 	st := b.Stats()
 	fmt.Printf("%d connections: %d cached in hardware, %d pinned at the SLB tier\n",
 		conns, conns-int(st.OverflowConns), st.OverflowConns)
@@ -65,7 +74,7 @@ func main() {
 		log.Fatal(err)
 	}
 	now = now.Add(simtime.Duration(200 * simtime.Millisecond))
-	b.Advance(now)
+	rt.RunUntil(now)
 
 	moved, excusable := 0, 0
 	for i := 0; i < conns; i++ {

@@ -1,14 +1,21 @@
 // Quickstart: announce a VIP, balance a few connections, and watch the
 // switch pin each connection to a backend across a DIP pool change.
 //
+// The switch runs on its wall-clock event runtime: Switch.Run drives the
+// learning-filter drains, CPU insertions and PCC update steps autonomously
+// while this program just sends packets and sleeps — no manual Advance
+// calls anywhere.
+//
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"net/netip"
+	"time"
 
 	silkroad "repro"
 )
@@ -24,9 +31,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Start the event runtime: from here on the switch CPU works on its
+	// own clock, exactly like cmd/silkroadd in production.
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- sw.Run(ctx) }()
+
 	// One service: VIP 20.0.0.1:80 backed by three servers.
 	vip := silkroad.NewVIP("20.0.0.1", 80, silkroad.TCP)
-	if err := sw.AddVIP(0, vip, silkroad.Pool(
+	if err := sw.AddVIP(sw.Now(), vip, silkroad.Pool(
 		"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080")); err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +47,6 @@ func main() {
 	// Ten clients connect. The first packet of each connection selects a
 	// DIP by hashing over the current pool version; the ASIC notifies the
 	// switch CPU, which installs a ConnTable entry within ~1 ms.
-	now := silkroad.Time(0)
 	conns := make([]silkroad.FiveTuple, 10)
 	for i := range conns {
 		conns[i] = silkroad.FiveTuple{
@@ -44,27 +56,26 @@ func main() {
 			DstPort: vip.Port,
 			Proto:   silkroad.TCP,
 		}
-		res := sw.Process(now, &silkroad.Packet{Tuple: conns[i], TCPFlags: 0x02 /* SYN */})
+		res := sw.Process(sw.Now(), &silkroad.Packet{Tuple: conns[i], TCPFlags: 0x02 /* SYN */})
 		fmt.Printf("conn %2d -> %v (version %d)\n", i, res.DIP, res.Version)
-		now = now.Add(10 * silkroad.Microsecond)
 	}
 
-	// Let the learning filter flush and the CPU install the entries.
-	now = now.Add(5 * silkroad.Millisecond)
-	sw.Advance(now)
+	// Sleep past the learning-filter flush: the runtime drains the filter
+	// and the CPU installs the entries while we wait.
+	time.Sleep(50 * time.Millisecond)
 
 	// Drain one backend for maintenance. SilkRoad runs the 3-step
 	// per-connection-consistent update: established connections keep
 	// their backend; only new connections see the smaller pool.
 	fmt.Println("\nremoving 10.0.0.2:8080 ...")
-	if err := sw.RemoveDIP(now, vip, silkroad.AddrPort("10.0.0.2:8080")); err != nil {
+	if err := sw.RemoveDIP(sw.Now(), vip, silkroad.AddrPort("10.0.0.2:8080")); err != nil {
 		log.Fatal(err)
 	}
-	now = now.Add(10 * silkroad.Millisecond)
+	time.Sleep(50 * time.Millisecond)
 
 	moved := 0
 	for i, tup := range conns {
-		res := sw.Process(now, &silkroad.Packet{Tuple: tup, TCPFlags: 0x10 /* ACK */})
+		res := sw.Process(sw.Now(), &silkroad.Packet{Tuple: tup, TCPFlags: 0x10 /* ACK */})
 		fmt.Printf("conn %2d -> %v (ConnTable hit=%v)\n", i, res.DIP, res.ConnHit)
 		if !res.ConnHit {
 			moved++
@@ -80,13 +91,19 @@ func main() {
 	stray := &silkroad.Packet{Tuple: conns[0]}
 	stray.Tuple.Dst = netip.MustParseAddr("30.0.0.1")
 	raw, _ := stray.Marshal(nil)
-	if _, err := sw.Forward(now, raw); errors.Is(err, silkroad.ErrNotVIP) {
+	if _, err := sw.Forward(sw.Now(), raw); errors.Is(err, silkroad.ErrNotVIP) {
 		fmt.Printf("forwarding to a non-VIP fails cleanly: %v\n", err)
 	}
 
 	// The telemetry registry saw every event above; §4.2's pending window
 	// (SYN seen -> ConnTable entry committed) is one of its histograms.
-	snap := sw.Telemetry().Snapshot(now)
+	snap := sw.Telemetry().Snapshot(sw.Now())
 	pw := snap.Histograms["silkroad_insert_pending_window_seconds"]
 	fmt.Printf("pending windows: %d inserts, mean %.2f ms\n", pw.Count, pw.Mean()*1e3)
+
+	// Shut the runtime down the way silkroadd does on SIGTERM.
+	cancel()
+	if err := <-runDone; err != nil {
+		log.Fatal(err)
+	}
 }

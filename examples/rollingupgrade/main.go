@@ -5,6 +5,11 @@
 // single established connection changes backend, and shows the version
 // machinery at work (versions minted, reused, retired).
 //
+// Time is virtual and deterministic: the switch runs on a ManualClock and
+// Switch.AdvanceTo drives the event runtime — the same scheduler
+// Switch.Run executes against the wall clock — synchronously to each
+// instant the scenario cares about.
+//
 // Run with: go run ./examples/rollingupgrade
 package main
 
@@ -23,7 +28,9 @@ const (
 )
 
 func main() {
-	sw, err := silkroad.NewSwitch(silkroad.Defaults(1_000_000))
+	cfg := silkroad.Defaults(1_000_000)
+	cfg.Clock = silkroad.NewManualClock(0)
+	sw, err := silkroad.NewSwitch(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +93,7 @@ func main() {
 		openConns(100) // connections keep arriving mid-update
 		probeAll()
 		now = now.Add(stepPause) // upgrade happens here
-		sw.Advance(now)
+		sw.AdvanceTo(now)
 		if err := sw.AddDIP(now, vip, a); err != nil {
 			log.Fatal(err)
 		}
@@ -96,7 +103,7 @@ func main() {
 		openConns(100)
 		probeAll()
 		now = now.Add(stepPause)
-		sw.Advance(now)
+		sw.AdvanceTo(now)
 	}
 
 	st := sw.Stats()

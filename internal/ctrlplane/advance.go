@@ -8,33 +8,62 @@ import (
 	"repro/internal/telemetry"
 )
 
+// filterSource exposes the hardware learning filter's flush schedule to
+// the scheduler: its deadline is the next flush, and advancing it drains
+// every flush due by then.
+type filterSource struct{ cp *ControlPlane }
+
+func (f filterSource) NextEventTime() (simtime.Time, bool) {
+	return f.cp.sw.LearnFilter().NextFlush()
+}
+
+func (f filterSource) Advance(now simtime.Time) {
+	for {
+		at, ok := f.cp.sw.LearnFilter().NextFlush()
+		if !ok || at.After(now) {
+			return
+		}
+		f.cp.drainFilter(at)
+	}
+}
+
+// insertSource exposes the rate-limited CPU insertion queue: its deadline
+// is the head insertion's completion time, and advancing it installs every
+// insertion due by then. The queue is FIFO in completion time (each drain
+// appends behind cpuFreeAt), so head-order execution is time-order
+// execution.
+type insertSource struct{ cp *ControlPlane }
+
+func (q insertSource) NextEventTime() (simtime.Time, bool) {
+	if len(q.cp.queue) == 0 {
+		return 0, false
+	}
+	return q.cp.queue[0].completeAt, true
+}
+
+func (q insertSource) Advance(now simtime.Time) {
+	cp := q.cp
+	for len(cp.queue) > 0 && !cp.queue[0].completeAt.After(now) {
+		pi := cp.queue[0]
+		cp.queue = cp.queue[1:]
+		cp.install(pi)
+	}
+}
+
 // Advance runs all control-plane work due at or before now: learning-filter
 // drains, ConnTable insertions at the CPU's bounded rate, update state
-// transitions, and (optionally) connection aging. Callers must invoke it
-// with non-decreasing times; drivers typically call it before processing
-// each packet and whenever NextEventTime falls due.
+// transitions, and (optionally) connection aging. It is a thin shim over
+// the internal scheduler, which executes drains and insertions in strict
+// time order. Callers must invoke it with non-decreasing times; drivers
+// typically call it before processing each packet and whenever
+// NextEventTime falls due.
 func (cp *ControlPlane) Advance(now simtime.Time) {
-	for {
-		progressed := false
-		// Drain the hardware learning filter at its scheduled flush times.
-		if at, ok := cp.sw.LearnFilter().NextFlush(); ok && !at.After(now) {
-			cp.drainFilter(at)
-			progressed = true
-		}
-		// Execute due insertions.
-		for len(cp.queue) > 0 && !cp.queue[0].completeAt.After(now) {
-			pi := cp.queue[0]
-			cp.queue = cp.queue[1:]
-			cp.install(pi)
-			progressed = true
-		}
-		if !progressed {
-			break
-		}
-	}
+	cp.rt.RunUntil(now)
 	// Update states can cascade: finishing one update starts the next
 	// queued one, which may itself be immediately executable when no
-	// pending connections exist. Loop to a fixed point.
+	// pending connections exist. Loop to a fixed point. Transitions need no
+	// timer of their own — they become possible only when an insertion or
+	// drain retires pending work, which the scheduler just ran.
 	for cp.checkTransitions(now) {
 	}
 	cp.age(now)
@@ -138,22 +167,22 @@ func (cp *ControlPlane) install(pi pendingInsert) {
 }
 
 // NextEventTime returns the earliest time at which Advance would perform
-// work, and whether any work is scheduled.
+// work, and whether any work is scheduled. It deliberately excludes aging
+// deadlines — aging is best-effort housekeeping piggybacked on Advance,
+// and surfacing it here would change every simulation's event sequence.
+// Wall-clock drivers combine this with NextAging instead.
 func (cp *ControlPlane) NextEventTime() (simtime.Time, bool) {
-	var best simtime.Time
-	have := false
-	consider := func(t simtime.Time) {
-		if !have || t.Before(best) {
-			best, have = t, true
-		}
+	return cp.rt.Next()
+}
+
+// NextAging returns the next instant the aging wheel has timers due, if
+// aging is enabled and any connection is scheduled. The wall-clock runtime
+// uses it to wake up for idle-connection expiry with no packets flowing.
+func (cp *ControlPlane) NextAging() (simtime.Time, bool) {
+	if cp.wheel == nil {
+		return 0, false
 	}
-	if at, ok := cp.sw.LearnFilter().NextFlush(); ok {
-		consider(at)
-	}
-	if len(cp.queue) > 0 {
-		consider(cp.queue[0].completeAt)
-	}
-	return best, have
+	return cp.wheel.NextFire()
 }
 
 // HandleResult performs the CPU side of a packet's outcome: arbitrating

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/learnfilter"
 	"repro/internal/netproto"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
 	"repro/internal/timewheel"
@@ -188,6 +189,12 @@ type ControlPlane struct {
 	sw  *dataplane.Switch
 	cfg Config
 
+	// rt sequences the control plane's timed work — learning-filter drains
+	// and rate-limited ConnTable insertions — as scheduler sources, so both
+	// the legacy Advance/NextEventTime shims and the wall-clock runtime
+	// execute it through one event loop.
+	rt *sched.Scheduler
+
 	cpuFreeAt simtime.Time
 	queue     []pendingInsert
 
@@ -213,11 +220,17 @@ func New(sw *dataplane.Switch, cfg Config) *ControlPlane {
 	cp := &ControlPlane{
 		sw:     sw,
 		cfg:    cfg,
+		rt:     sched.New(),
 		conns:  make(map[uint64]*connShadow),
 		vips:   make(map[dataplane.VIP]*vipCtl),
 		tracer: sw.Tracer(),
 		pipe:   sw.PipeIndex(),
 	}
+	// Registration order decides same-instant ties: the filter drains
+	// before due insertions execute, matching the hardware (a flush only
+	// queues work; the CPU picks it up afterwards).
+	cp.rt.AddSource(filterSource{cp})
+	cp.rt.AddSource(insertSource{cp})
 	if cfg.AgingTimeout > 0 {
 		gran := cfg.AgingTimeout / 8
 		if gran < simtime.Duration(100*simtime.Millisecond) {

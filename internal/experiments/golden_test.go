@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the fig16/17/18 golden files")
+
+// TestFigGoldenDeterminism pins the seeded flowsim outputs of Figures 16,
+// 17 and 18 to golden files. These figures exercise the whole timed stack —
+// Poisson arrivals, probe trains, rolling-reboot updates, learning-filter
+// drains, rate-limited CPU insertions and the 3-step PCC update — so any
+// change to event ordering (e.g. in the internal/sched event loop that now
+// drives flowsim) shows up as a byte-level diff here.
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestFigGoldenDeterminism -update
+func TestFigGoldenDeterminism(t *testing.T) {
+	for _, id := range []string{"fig16", "fig17", "fig18"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			rep, err := r.Run(testScale, testSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rep.String()
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s output diverged from golden file:\n%s", id, firstDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line of want vs got.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, w, g)
+		}
+	}
+	return "(no line diff; lengths differ)"
+}

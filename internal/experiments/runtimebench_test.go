@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRuntimeBenchShape runs the event-runtime overhead comparison at test
+// scale and asserts the artifact round-trips with both driving modes
+// measured on the same workload. The 5% overhead bar itself is asserted in
+// the root package's BenchmarkRuntimeOverhead, not here — wall-clock
+// ratios on a loaded test host are too noisy for a hard test failure.
+func TestRuntimeBenchShape(t *testing.T) {
+	rep, err := RuntimeBench(testScale, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ArtifactName != "BENCH_runtime.json" || len(rep.Artifact) == 0 {
+		t.Fatalf("missing artifact: %q (%d bytes)", rep.ArtifactName, len(rep.Artifact))
+	}
+	var res RuntimeBenchResult
+	if err := json.Unmarshal(rep.Artifact, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].Mode != "hand" || res.Rows[1].Mode != "sched" {
+		t.Fatalf("rows = %+v, want hand then sched", res.Rows)
+	}
+	hand, schd := res.Rows[0], res.Rows[1]
+	if hand.Packets == 0 || hand.Packets != schd.Packets {
+		t.Fatalf("workloads differ: %d vs %d packets", hand.Packets, schd.Packets)
+	}
+	if hand.Connections == 0 || hand.Connections != schd.Connections {
+		t.Fatalf("tracked connections differ: %d vs %d", hand.Connections, schd.Connections)
+	}
+	if hand.NsPerPacket <= 0 || schd.NsPerPacket <= 0 {
+		t.Fatalf("unmeasured rows: hand %.1f ns, sched %.1f ns", hand.NsPerPacket, schd.NsPerPacket)
+	}
+}

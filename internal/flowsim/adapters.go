@@ -68,8 +68,8 @@ func (a *SilkRoadAdapter) Update(now simtime.Time, vip dataplane.VIP, pool []dat
 // Advance implements Balancer.
 func (a *SilkRoadAdapter) Advance(now simtime.Time) { a.CP.Advance(now) }
 
-// NextEvent implements Balancer.
-func (a *SilkRoadAdapter) NextEvent() (simtime.Time, bool) { return a.CP.NextEventTime() }
+// NextEventTime implements Balancer.
+func (a *SilkRoadAdapter) NextEventTime() (simtime.Time, bool) { return a.CP.NextEventTime() }
 
 // ExtraBroken implements Balancer (SilkRoad violations are all observable
 // as packet-level inconsistencies, which the simulator counts itself).
@@ -129,8 +129,8 @@ func (a *DuetAdapter) Advance(now simtime.Time) {
 	}
 }
 
-// NextEvent implements Balancer.
-func (a *DuetAdapter) NextEvent() (simtime.Time, bool) {
+// NextEventTime implements Balancer.
+func (a *DuetAdapter) NextEventTime() (simtime.Time, bool) {
 	if a.policy.Interval() == 0 {
 		return 0, false
 	}
@@ -189,8 +189,8 @@ func (a *SLBAdapter) Update(now simtime.Time, vip dataplane.VIP, pool []dataplan
 // Advance implements Balancer.
 func (a *SLBAdapter) Advance(simtime.Time) {}
 
-// NextEvent implements Balancer.
-func (a *SLBAdapter) NextEvent() (simtime.Time, bool) { return 0, false }
+// NextEventTime implements Balancer.
+func (a *SLBAdapter) NextEventTime() (simtime.Time, bool) { return 0, false }
 
 // ExtraBroken implements Balancer: SLBs never break connections on
 // updates.

@@ -10,10 +10,15 @@
 // behind the Balancer interface. Per-connection consistency is checked by
 // the simulator itself: the first packet's DIP is recorded and every later
 // packet must match.
+//
+// The event loop is the virtual-time driver of internal/sched: arrivals,
+// probes, flow ends and pool updates are scheduler timers, and the
+// balancer's background work (CPU insertions, migrations) runs as a
+// scheduler source, interleaved in strict (time, sequence) order. Seeded
+// runs are bit-reproducible.
 package flowsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,6 +26,7 @@ import (
 
 	"repro/internal/dataplane"
 	"repro/internal/netproto"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 )
@@ -40,9 +46,11 @@ type Balancer interface {
 	// Update applies a DIP pool change.
 	Update(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP) error
 	// Advance runs background work (CPU insertions, migrations) up to now.
+	// Together with NextEventTime it satisfies sched.Source, so the
+	// balancer plugs straight into the scheduler as a due-work source.
 	Advance(now simtime.Time)
-	// NextEvent returns the next time background work is due.
-	NextEvent() (simtime.Time, bool)
+	// NextEventTime returns the next time background work is due.
+	NextEventTime() (simtime.Time, bool)
 	// ExtraBroken reports PCC violations the balancer detects internally
 	// (e.g. Duet counts breaks at migration instants, which packet probes
 	// cannot observe).
@@ -132,41 +140,6 @@ type conn struct {
 	alive    bool
 }
 
-type eventKind uint8
-
-const (
-	evArrival eventKind = iota
-	evProbe
-	evEnd
-	evUpdate
-)
-
-type event struct {
-	at   simtime.Time
-	seq  uint64
-	kind eventKind
-	c    *conn
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // vipPools tracks the simulator's own view of each VIP's pool for the
 // rolling-reboot update generator.
 type vipPools struct {
@@ -186,8 +159,7 @@ type Sim struct {
 	cfg    Config
 	bal    Balancer
 	rng    *rand.Rand
-	heap   eventHeap
-	seq    uint64
+	rt     *sched.Scheduler
 	vips   []*vipPools
 	vipCum []float64 // cumulative VIP popularity (Zipf)
 	conns  map[netproto.FiveTuple]*conn
@@ -209,8 +181,10 @@ func New(cfg Config, bal Balancer) (*Sim, error) {
 		cfg:   cfg,
 		bal:   bal,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rt:    sched.New(),
 		conns: make(map[netproto.FiveTuple]*conn),
 	}
+	s.rt.AddSource(bal)
 	for i := 0; i < cfg.VIPs; i++ {
 		addr := netip.AddrFrom4([4]byte{20, 0, byte(i >> 8), byte(i)})
 		if cfg.IPv6 {
@@ -278,12 +252,6 @@ func (s *Sim) AnnounceVIPs(announce func(vip dataplane.VIP, pool []dataplane.DIP
 	return nil
 }
 
-func (s *Sim) push(ev event) {
-	ev.seq = s.seq
-	s.seq++
-	heap.Push(&s.heap, ev)
-}
-
 // expInterval draws an exponential inter-arrival for the given rate/sec.
 func (s *Sim) expInterval(ratePerSec float64) simtime.Duration {
 	if ratePerSec <= 0 {
@@ -297,40 +265,17 @@ func (s *Sim) expInterval(ratePerSec float64) simtime.Duration {
 	return d
 }
 
-// Run executes the simulation and returns its results.
+// Run executes the simulation and returns its results. The scheduler's
+// virtual-time driver interleaves balancer background work with simulation
+// timers in strict time order; the sequence of balancer calls is
+// bit-identical to the simulator's former private event heap.
 func (s *Sim) Run() Results {
 	end := simtime.Time(0).Add(s.cfg.Duration)
-	s.push(event{at: simtime.Time(0).Add(s.expInterval(s.cfg.ArrivalRate)), kind: evArrival})
+	s.rt.At(simtime.Time(0).Add(s.expInterval(s.cfg.ArrivalRate)), s.arrivalEvent)
 	if s.cfg.UpdatesPerMin > 0 {
-		s.push(event{at: simtime.Time(0).Add(s.expInterval(s.cfg.UpdatesPerMin / 60)), kind: evUpdate})
+		s.rt.At(simtime.Time(0).Add(s.expInterval(s.cfg.UpdatesPerMin/60)), s.updateEvent)
 	}
-	for s.heap.Len() > 0 {
-		// Run balancer background work strictly in time order with events.
-		for {
-			bt, ok := s.bal.NextEvent()
-			if !ok || s.heap.Len() == 0 || bt.After(s.heap[0].at) {
-				break
-			}
-			s.bal.Advance(bt)
-		}
-		ev := heap.Pop(&s.heap).(event)
-		if ev.at.After(end) {
-			break
-		}
-		s.bal.Advance(ev.at)
-		switch ev.kind {
-		case evArrival:
-			s.arrive(ev.at)
-			s.push(event{at: ev.at.Add(s.expInterval(s.cfg.ArrivalRate)), kind: evArrival})
-		case evProbe:
-			s.probe(ev.at, ev.c)
-		case evEnd:
-			s.end(ev.at, ev.c)
-		case evUpdate:
-			s.update(ev.at)
-			s.push(event{at: ev.at.Add(s.expInterval(s.cfg.UpdatesPerMin / 60)), kind: evUpdate})
-		}
-	}
+	s.rt.Run(end)
 	// Flush: end all live connections so accounting completes.
 	s.bal.Advance(end)
 	for _, c := range s.conns {
@@ -353,6 +298,21 @@ func (s *Sim) slbLoad() float64 {
 		return lr.SLBLoadFraction()
 	}
 	return 0
+}
+
+// arrivalEvent is the self-perpetuating Poisson arrival timer. The next
+// arrival is scheduled after the new connection's own end/probe timers, so
+// scheduler sequence numbers — and thus same-instant tie-breaks — match
+// the retired event heap exactly.
+func (s *Sim) arrivalEvent(now simtime.Time) {
+	s.arrive(now)
+	s.rt.At(now.Add(s.expInterval(s.cfg.ArrivalRate)), s.arrivalEvent)
+}
+
+// updateEvent is the self-perpetuating rolling-reboot update timer.
+func (s *Sim) updateEvent(now simtime.Time) {
+	s.update(now)
+	s.rt.At(now.Add(s.expInterval(s.cfg.UpdatesPerMin/60)), s.updateEvent)
 }
 
 // arrive creates a new connection and sends its SYN.
@@ -383,8 +343,8 @@ func (s *Sim) arrive(now simtime.Time) {
 	if ok {
 		c.firstDIP = dip
 	}
-	s.push(event{at: c.endAt, kind: evEnd, c: c})
-	s.push(event{at: now.Add(s.cfg.ProbeInterval), kind: evProbe, c: c})
+	s.rt.At(c.endAt, func(at simtime.Time) { s.end(at, c) })
+	s.rt.At(now.Add(s.cfg.ProbeInterval), func(at simtime.Time) { s.probe(at, c) })
 }
 
 // probe sends a follow-up packet of a pending connection and checks PCC.
@@ -400,7 +360,7 @@ func (s *Sim) probe(now simtime.Time, c *conn) {
 		s.res.BrokenConns++
 	}
 	if !s.bal.Pinned(c.tuple) && c.probes < s.cfg.MaxProbes {
-		s.push(event{at: now.Add(s.cfg.ProbeInterval), kind: evProbe, c: c})
+		s.rt.At(now.Add(s.cfg.ProbeInterval), func(at simtime.Time) { s.probe(at, c) })
 	}
 }
 

@@ -11,6 +11,7 @@ package health
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dataplane"
 	"repro/internal/simtime"
@@ -70,10 +71,17 @@ type targetState struct {
 }
 
 // Checker probes watched (VIP, DIP) pairs and drives pool membership.
+//
+// Checker is safe for concurrent use: the wall-clock runtime advances it
+// from the driver goroutine while the application watches and unwatches
+// targets from its own. Probe and pool-manager callbacks run with the
+// checker's lock held — they must not call back into the checker.
 type Checker struct {
-	cfg     Config
-	mgr     PoolManager
-	probe   ProbeFunc
+	cfg   Config
+	mgr   PoolManager
+	probe ProbeFunc
+
+	mu      sync.Mutex
 	targets map[targetKey]*targetState
 	nextRun simtime.Time
 	started bool
@@ -97,10 +105,16 @@ func New(cfg Config, mgr PoolManager, probe ProbeFunc) *Checker {
 }
 
 // Metrics returns a copy of the counters.
-func (c *Checker) Metrics() Metrics { return c.metrics }
+func (c *Checker) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
 
 // Watch starts probing dip on behalf of vip.
 func (c *Checker) Watch(vip dataplane.VIP, dip dataplane.DIP) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := targetKey{vip, dip}
 	if _, dup := c.targets[k]; !dup {
 		c.targets[k] = &targetState{}
@@ -109,20 +123,30 @@ func (c *Checker) Watch(vip dataplane.VIP, dip dataplane.DIP) {
 
 // Unwatch stops probing dip for vip.
 func (c *Checker) Unwatch(vip dataplane.VIP, dip dataplane.DIP) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	delete(c.targets, targetKey{vip, dip})
 }
 
 // Watching returns the number of probe targets.
-func (c *Checker) Watching() int { return len(c.targets) }
+func (c *Checker) Watching() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.targets)
+}
 
 // Down reports whether the checker currently considers dip failed.
 func (c *Checker) Down(vip dataplane.VIP, dip dataplane.DIP) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	st, ok := c.targets[targetKey{vip, dip}]
 	return ok && st.down
 }
 
 // NextEventTime returns when the next probe round is due.
 func (c *Checker) NextEventTime() (simtime.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(c.targets) == 0 {
 		return 0, false
 	}
@@ -131,6 +155,8 @@ func (c *Checker) NextEventTime() (simtime.Time, bool) {
 
 // Advance runs every probe round due at or before now.
 func (c *Checker) Advance(now simtime.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(c.targets) == 0 {
 		return
 	}
@@ -184,6 +210,8 @@ func (c *Checker) runRound(now simtime.Time) {
 
 // String summarizes checker state.
 func (c *Checker) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	down := 0
 	for _, st := range c.targets {
 		if st.down {

@@ -109,6 +109,11 @@ func (b *Balancer) ConnEnd(now simtime.Time, t netproto.FiveTuple) {
 // Advance runs switch-software background work.
 func (b *Balancer) Advance(now simtime.Time) { b.cp.Advance(now) }
 
+// NextEventTime reports the control plane's earliest pending deadline.
+// Together with Advance it lets the balancer ride a sched.Scheduler as a
+// due-work source.
+func (b *Balancer) NextEventTime() (simtime.Time, bool) { return b.cp.NextEventTime() }
+
 // SoftwareShare returns the fraction of packets served in software.
 func (b *Balancer) SoftwareShare() float64 {
 	if b.stats.Packets == 0 {

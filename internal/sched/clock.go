@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Clock maps the outside world onto the simulation timeline. The
+// wall-clock driver polls it to decide how far to run the scheduler; tests
+// substitute a ManualClock to step time by hand.
+type Clock interface {
+	Now() simtime.Time
+}
+
+// WallClock anchors simtime at its creation instant and advances it with
+// the process's monotonic clock, so simtime.Time 0 is "process start" and
+// readings never jump backwards on NTP adjustments.
+type WallClock struct {
+	anchor time.Time
+}
+
+// NewWallClock returns a clock anchored at the current instant.
+func NewWallClock() *WallClock {
+	return &WallClock{anchor: time.Now()}
+}
+
+// Now returns the monotonic time elapsed since the anchor.
+func (c *WallClock) Now() simtime.Time {
+	return simtime.Time(time.Since(c.anchor).Nanoseconds())
+}
+
+// ManualClock is a hand-stepped Clock for tests. It is safe for
+// concurrent use; readings are monotonic (Set to an earlier time is
+// ignored).
+type ManualClock struct {
+	t atomic.Int64
+}
+
+// NewManualClock returns a manual clock reading start.
+func NewManualClock(start simtime.Time) *ManualClock {
+	c := &ManualClock{}
+	c.t.Store(int64(start))
+	return c
+}
+
+// Now returns the clock's current reading.
+func (c *ManualClock) Now() simtime.Time { return simtime.Time(c.t.Load()) }
+
+// Set moves the clock forward to t; earlier instants are ignored.
+func (c *ManualClock) Set(t simtime.Time) {
+	for {
+		cur := c.t.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.t.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d simtime.Duration) {
+	if d > 0 {
+		c.t.Add(int64(d))
+	}
+}

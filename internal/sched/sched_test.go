@@ -1,0 +1,333 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func ms(n int64) simtime.Time { return simtime.Time(n * int64(simtime.Millisecond)) }
+
+// TestTimerFIFOOrder verifies the (time, seq) heap order: events at the
+// same instant fire in scheduling order — the determinism property the
+// simulator's golden files depend on.
+func TestTimerFIFOOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(ms(5), func(simtime.Time) { got = append(got, i) })
+	}
+	s.At(ms(1), func(simtime.Time) { got = append(got, -1) })
+	s.RunUntil(ms(5))
+	want := []int{-1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != ms(5) {
+		t.Fatalf("Now=%v, want %v", s.Now(), ms(5))
+	}
+}
+
+// TestEveryAndStop covers periodic firing, cancellation from outside and
+// from inside the callback, and that Len ignores stopped timers.
+func TestEveryAndStop(t *testing.T) {
+	s := New()
+	var ticks []simtime.Time
+	task := s.Every(ms(10), 10*simtime.Millisecond, func(now simtime.Time) {
+		ticks = append(ticks, now)
+	})
+	s.RunUntil(ms(35))
+	if len(ticks) != 3 || ticks[2] != ms(30) {
+		t.Fatalf("ticks=%v, want firings at 10,20,30ms", ticks)
+	}
+	task.Stop()
+	s.RunUntil(ms(100))
+	if len(ticks) != 3 {
+		t.Fatalf("stopped task fired again: %v", ticks)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d after stop, want 0", s.Len())
+	}
+
+	// Self-stop: a periodic task that cancels itself does not reschedule.
+	n := 0
+	var self *Task
+	self = s.Every(ms(110), 10*simtime.Millisecond, func(simtime.Time) {
+		n++
+		if n == 2 {
+			self.Stop()
+		}
+	})
+	s.RunUntil(ms(500))
+	if n != 2 {
+		t.Fatalf("self-stopping task fired %d times, want 2", n)
+	}
+}
+
+// recordingSource is a Source with a scripted deadline list.
+type recordingSource struct {
+	deadlines []simtime.Time // ascending; consumed as advanced past
+	advances  []simtime.Time
+}
+
+func (r *recordingSource) NextEventTime() (simtime.Time, bool) {
+	if len(r.deadlines) == 0 {
+		return 0, false
+	}
+	return r.deadlines[0], true
+}
+
+func (r *recordingSource) Advance(now simtime.Time) {
+	r.advances = append(r.advances, now)
+	for len(r.deadlines) > 0 && !r.deadlines[0].After(now) {
+		r.deadlines = r.deadlines[1:]
+	}
+}
+
+// TestRunInterleavesSources mirrors the old flowsim loop semantics: before
+// a timer fires, the source is advanced to each of its earlier deadlines
+// in turn, then advanced to the timer's own instant.
+func TestRunInterleavesSources(t *testing.T) {
+	s := New()
+	src := &recordingSource{deadlines: []simtime.Time{ms(3), ms(7), ms(12)}}
+	s.AddSource(src)
+	var fired []simtime.Time
+	s.At(ms(10), func(now simtime.Time) { fired = append(fired, now) })
+	s.Run(ms(100))
+
+	if len(fired) != 1 || fired[0] != ms(10) {
+		t.Fatalf("fired=%v, want [10ms]", fired)
+	}
+	// Source advanced at its own deadlines 3ms and 7ms, then to the timer
+	// instant 10ms. The 12ms deadline is beyond the last timer: the loop
+	// ends when the heap empties, leaving it pending.
+	want := []simtime.Time{ms(3), ms(7), ms(10)}
+	if len(src.advances) != len(want) {
+		t.Fatalf("advances=%v, want %v", src.advances, want)
+	}
+	for i := range want {
+		if src.advances[i] != want[i] {
+			t.Fatalf("advances=%v, want %v", src.advances, want)
+		}
+	}
+	if next, ok := s.Next(); !ok || next != ms(12) {
+		t.Fatalf("Next=%v,%v, want 12ms pending from source", next, ok)
+	}
+}
+
+// TestRunHorizon verifies a timer beyond the horizon is not executed and
+// that RunUntil ties go to the source.
+func TestRunHorizon(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(ms(10), func(simtime.Time) { fired = true })
+	s.Run(ms(9))
+	if fired {
+		t.Fatal("timer beyond horizon fired")
+	}
+
+	// Tie at 5ms: RunUntil runs the source before the timer.
+	s2 := New()
+	var order []string
+	src := &recordingSource{deadlines: []simtime.Time{ms(5)}}
+	s2.AddSource(src)
+	s2.At(ms(5), func(simtime.Time) { order = append(order, "timer") })
+	s2.RunUntil(ms(5))
+	if len(src.advances) != 1 || len(order) != 1 {
+		t.Fatalf("advances=%v order=%v", src.advances, order)
+	}
+}
+
+// TestNextMergesTimersAndSources checks Next over both kinds of work.
+func TestNextMergesTimersAndSources(t *testing.T) {
+	s := New()
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty scheduler reported work")
+	}
+	src := &recordingSource{deadlines: []simtime.Time{ms(8)}}
+	s.AddSource(src)
+	if next, ok := s.Next(); !ok || next != ms(8) {
+		t.Fatalf("Next=%v,%v, want 8ms", next, ok)
+	}
+	tm := s.At(ms(3), func(simtime.Time) {})
+	if next, _ := s.Next(); next != ms(3) {
+		t.Fatalf("Next=%v, want timer at 3ms", next)
+	}
+	tm.Stop()
+	if next, _ := s.Next(); next != ms(8) {
+		t.Fatalf("Next=%v after stop, want 8ms", next)
+	}
+}
+
+// TestWallDriverManualClock drives the wall driver with a hand-stepped
+// clock: work due only becomes visible when the clock passes it and the
+// driver is poked.
+func TestWallDriverManualClock(t *testing.T) {
+	s := New()
+	clock := NewManualClock(0)
+	var mu sync.Mutex
+	d := NewWallDriver(clock, s, &mu)
+
+	fired := make(chan simtime.Time, 1)
+	mu.Lock()
+	s.At(ms(50), func(now simtime.Time) { fired <- now })
+	mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	select {
+	case at := <-fired:
+		t.Fatalf("timer fired at %v before clock reached it", at)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	clock.Set(ms(60))
+	d.Poke()
+	select {
+	case at := <-fired:
+		if at != ms(50) {
+			t.Fatalf("fired at %v, want 50ms", at)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer did not fire after clock advance + poke")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v", err)
+	}
+}
+
+// TestWallDriverRealClock runs a periodic task against the real monotonic
+// clock and checks cancellation performs a final catch-up pass.
+func TestWallDriverRealClock(t *testing.T) {
+	s := New()
+	clock := NewWallClock()
+	var mu sync.Mutex
+	d := NewWallDriver(clock, s, &mu)
+
+	const want = 5
+	hits := make(chan struct{}, want)
+	mu.Lock()
+	s.Every(simtime.Time(simtime.Millisecond), simtime.Millisecond, func(simtime.Time) {
+		select {
+		case hits <- struct{}{}:
+		default:
+		}
+	})
+	mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	for i := 0; i < want; i++ {
+		select {
+		case <-hits:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d periodic firings", i, want)
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v", err)
+	}
+}
+
+// lockedSource is a Source whose state is guarded by the driver lock —
+// the shape ctrlplane/health take under the facade runtime.
+type lockedSource struct {
+	next     simtime.Time
+	interval simtime.Duration
+	rounds   int
+}
+
+func (l *lockedSource) NextEventTime() (simtime.Time, bool) { return l.next, true }
+
+func (l *lockedSource) Advance(now simtime.Time) {
+	for !l.next.After(now) {
+		l.rounds++
+		l.next = l.next.Add(l.interval)
+	}
+}
+
+// TestSchedulerSoak hammers a wall driver from several goroutines at once —
+// scheduling one-shots and periodics, stopping tasks, poking, and reading
+// state — for long enough that the race detector gets real interleavings.
+// CI runs this test under -race.
+func TestSchedulerSoak(t *testing.T) {
+	s := New()
+	clock := NewWallClock()
+	var mu sync.Mutex
+	d := NewWallDriver(clock, s, &mu)
+
+	src := &lockedSource{interval: simtime.Duration(500 * 1000)} // 500µs
+	mu.Lock()
+	s.AddSource(src)
+	mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	const (
+		workers   = 4
+		perWorker = 200
+	)
+	var fireCount sync.WaitGroup
+	fireCount.Add(workers * perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				mu.Lock()
+				at := clock.Now().Add(simtime.Duration((i % 7) * int(simtime.Millisecond) / 4))
+				task := s.At(at, func(simtime.Time) { fireCount.Done() })
+				if i%13 == 0 {
+					// Stop-then-let-it-surface exercises lazy cancellation;
+					// account for the firing that will never happen.
+					task.Stop()
+					fireCount.Done()
+				}
+				mu.Unlock()
+				d.Poke()
+				if i%31 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	waitDone := make(chan struct{})
+	go func() { fireCount.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scheduled work did not all execute")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run returned %v", err)
+	}
+	mu.Lock()
+	rounds := src.rounds
+	mu.Unlock()
+	if rounds == 0 {
+		t.Fatal("source never advanced during soak")
+	}
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wall-driver tuning. The driver trades a bounded amount of latency for
+// not spinning: a Poke that races the driver going idle is noticed no
+// later than idlePoll.
+const (
+	// minSleep is the shortest nap between scheduler passes; deadlines
+	// closer than this are coalesced into one pass.
+	minSleep = 100 * time.Microsecond
+	// idlePoll bounds how long the driver sleeps with no deadline queued
+	// (or after a lost Poke race).
+	idlePoll = 250 * time.Millisecond
+	// pokeThreshold is the sleep length above which the driver marks
+	// itself idle so Poke wakes it early; shorter naps end soon enough on
+	// their own.
+	pokeThreshold = 5 * time.Millisecond
+)
+
+// WallDriver executes a Scheduler against real time: it sleeps until the
+// scheduler's next deadline maps onto the wall clock, then runs everything
+// due. All scheduler access happens with the configured locker held, so a
+// data path sharing that lock can keep mutating scheduler-visible state
+// (installing connections, scheduling aging) while the driver runs.
+type WallDriver struct {
+	clock Clock
+	sched *Scheduler
+	mu    sync.Locker
+
+	wake    chan struct{}
+	idle    atomic.Bool
+	running atomic.Bool
+}
+
+// NewWallDriver builds a driver for sched. Deadlines are read from clock;
+// every scheduler access takes mu (pass the lock that guards the
+// scheduler's other users, or nil for a private lock).
+func NewWallDriver(clock Clock, sched *Scheduler, mu sync.Locker) *WallDriver {
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	if mu == nil {
+		mu = &sync.Mutex{}
+	}
+	return &WallDriver{
+		clock: clock,
+		sched: sched,
+		mu:    mu,
+		wake:  make(chan struct{}, 1),
+	}
+}
+
+// Poke nudges the driver to re-read the scheduler's next deadline. Call it
+// after scheduling new work from outside the driver (e.g. a packet miss
+// queued a learning-filter flush earlier than the driver planned to wake).
+// It is cheap, non-blocking, and safe from any goroutine; when the driver
+// is mid-pass or about to wake anyway it is a no-op.
+func (d *WallDriver) Poke() {
+	if !d.idle.Load() {
+		return
+	}
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run executes the scheduler against the wall clock until ctx is
+// cancelled, then performs one final catch-up pass (so shutdown observes
+// all work due at the instant of cancellation) and returns nil. Only one
+// Run may be active per driver.
+func (d *WallDriver) Run(ctx context.Context) error {
+	if !d.running.CompareAndSwap(false, true) {
+		panic("sched: WallDriver.Run called twice")
+	}
+	defer d.running.Store(false)
+
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+	for {
+		d.mu.Lock()
+		d.sched.RunUntil(d.clock.Now())
+		next, ok := d.sched.Next()
+		d.mu.Unlock()
+
+		var delay time.Duration
+		if ok {
+			delay = time.Duration(next.Sub(d.clock.Now()))
+			if delay < minSleep {
+				delay = minSleep
+			}
+		} else {
+			delay = idlePoll
+		}
+		// Mark idle before arming the timer: a Poke arriving after this
+		// store is guaranteed to either see idle and signal wake, or race
+		// the flag and cost at most idlePoll of extra latency.
+		d.idle.Store(delay >= pokeThreshold)
+		timer.Reset(delay)
+
+		select {
+		case <-ctx.Done():
+			d.idle.Store(false)
+			if !timer.Stop() {
+				<-timer.C
+			}
+			d.mu.Lock()
+			d.sched.RunUntil(d.clock.Now())
+			d.mu.Unlock()
+			return nil
+		case <-timer.C:
+		case <-d.wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		}
+		d.idle.Store(false)
+	}
+}

@@ -108,6 +108,24 @@ func (w *Wheel) cancelFromSlot(key uint64) {
 	}
 }
 
+// NextFire returns the earliest instant at which Advance would release at
+// least one key, and whether any key is scheduled. Wall-clock drivers use
+// it to sleep exactly until the next aging tick instead of polling.
+func (w *Wheel) NextFire() (simtime.Time, bool) {
+	if len(w.items) == 0 {
+		return 0, false
+	}
+	// Slot pos+k fires when the wheel ticks k times, at ticked + k*gran.
+	// The current slot is always empty (Schedule never targets it and
+	// Advance drains it), so scanning one rotation finds every key.
+	for k := 1; k < len(w.slots); k++ {
+		if len(w.slots[(w.pos+k)%len(w.slots)]) > 0 {
+			return w.ticked.Add(simtime.Duration(k) * w.granularity), true
+		}
+	}
+	return 0, false
+}
+
 // Advance ticks the wheel to now and returns the keys whose slots came
 // due. Returned keys are unscheduled; owners re-check liveness and may
 // Schedule them again.

@@ -174,3 +174,115 @@ func BenchmarkScheduleCancel(b *testing.B) {
 		}
 	}
 }
+
+// TestCancelThenFireSameTick schedules two keys into the same slot,
+// cancels one at the last moment, and checks the surviving key still fires
+// on that very tick while the cancelled one never does.
+func TestCancelThenFireSameTick(t *testing.T) {
+	w := wheel()
+	w.Schedule(1, sec(5))
+	w.Schedule(2, sec(5))
+	if !w.Cancel(1) {
+		t.Fatal("Cancel returned false for scheduled key")
+	}
+	got := w.Advance(sec(5))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("same-tick fire after cancel: got %v, want [2]", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
+	}
+	// The cancelled key must stay cancelled on later ticks too.
+	if got := w.Advance(sec(200)); len(got) != 0 {
+		t.Fatalf("cancelled key resurfaced: %v", got)
+	}
+}
+
+// TestRescheduleQueued moves an already-queued key both later and earlier
+// and verifies exactly one firing at the final deadline — the lazy-aging
+// pattern where a connection's timer is re-armed while still pending.
+func TestRescheduleQueued(t *testing.T) {
+	w := wheel()
+	w.Schedule(5, sec(10))
+	w.Schedule(5, sec(30)) // push out
+	w.Schedule(5, sec(4))  // pull in
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (reschedules must not duplicate)", w.Len())
+	}
+	if got := w.Advance(sec(3)); len(got) != 0 {
+		t.Fatalf("fired before earliest deadline: %v", got)
+	}
+	got := w.Advance(sec(4))
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("fired %v at t=4, want [5]", got)
+	}
+	// Neither abandoned deadline may fire again.
+	if got := w.Advance(sec(40)); len(got) != 0 {
+		t.Fatalf("stale deadline fired: %v", got)
+	}
+}
+
+// TestWraparound drives the wheel through several full rotations, with
+// deadlines landing beyond the horizon (clamped) and exactly one rotation
+// apart, to verify position bookkeeping survives wrapping.
+func TestWraparound(t *testing.T) {
+	w := New(simtime.Duration(simtime.Second), 8) // horizon: 7 s
+	// Beyond-horizon deadline clamps to the horizon slot.
+	w.Schedule(1, sec(100))
+	got := w.Advance(sec(7))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("clamped key fired %v at horizon, want [1]", got)
+	}
+	// March through ten rotations scheduling one key per tick.
+	next := uint64(2)
+	fired := 0
+	for tick := 8; tick < 88; tick++ {
+		w.Schedule(next, sec(tick+3))
+		next++
+		fired += len(w.Advance(sec(tick)))
+	}
+	fired += len(w.Advance(sec(95)))
+	want := int(next - 2)
+	if fired != want {
+		t.Fatalf("fired %d keys across rotations, want %d", fired, want)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", w.Len())
+	}
+	// A skipped stretch far longer than one rotation still fires everything.
+	w.Schedule(999, sec(97))
+	got = w.Advance(sec(500))
+	if len(got) != 1 || got[0] != 999 {
+		t.Fatalf("key lost across multi-rotation skip: %v", got)
+	}
+}
+
+// TestNextFire pins the wheel's wake-up arithmetic: the reported instant
+// is exactly when Advance first releases a key, before and after ticking.
+func TestNextFire(t *testing.T) {
+	w := wheel()
+	if _, ok := w.NextFire(); ok {
+		t.Fatal("empty wheel reported a fire time")
+	}
+	w.Schedule(1, sec(5))
+	at, ok := w.NextFire()
+	if !ok || at != sec(5) {
+		t.Fatalf("NextFire = %v,%v, want 5s", at, ok)
+	}
+	if got := w.Advance(at.Add(-1)); len(got) != 0 {
+		t.Fatalf("fired before NextFire instant: %v", got)
+	}
+	if got := w.Advance(at); len(got) != 1 {
+		t.Fatalf("nothing fired at NextFire instant")
+	}
+	// After ticking, a later key's fire time accounts for wheel position.
+	w.Schedule(2, sec(9))
+	at, ok = w.NextFire()
+	if !ok || at != sec(9) {
+		t.Fatalf("NextFire after ticking = %v,%v, want 9s", at, ok)
+	}
+	w.Cancel(2)
+	if _, ok := w.NextFire(); ok {
+		t.Fatal("cancelled-out wheel reported a fire time")
+	}
+}

@@ -15,10 +15,14 @@
 //	dip, _ := sw.Forward(now, rawPacket)           // full packet path
 //	sw.RemoveDIP(now, vip, silkroad.AddrPort("10.0.0.2:20")) // PCC update
 //
-// Nothing here reads the wall clock; callers pass simtime-style timestamps
-// (nanoseconds), which makes behaviour reproducible and lets the same code
-// run under the flow-level simulator, the benchmark harness, and the
-// real-socket demo in cmd/silkroadd.
+// The switch is driven through one event runtime (internal/sched) with two
+// interchangeable drivers. Under virtual time, callers pass simtime-style
+// timestamps (nanoseconds) and call Advance explicitly, which makes
+// behaviour reproducible down to the event sequence — the flow-level
+// simulator and the benchmark harness run this way. Under the wall-clock
+// driver, Switch.Run(ctx) maps the same timeline onto monotonic real time
+// and executes all timed work autonomously — the real-socket demo in
+// cmd/silkroadd runs this way, with no Advance calls at all.
 package silkroad
 
 import (
@@ -31,7 +35,6 @@ import (
 	"repro/internal/ctrlplane"
 	"repro/internal/dataplane"
 	"repro/internal/flightrec"
-	"repro/internal/health"
 	"repro/internal/netproto"
 	"repro/internal/pipes"
 	"repro/internal/simtime"
@@ -163,6 +166,10 @@ type Config struct {
 	// It wraps Telemetry (when both are set) so the data plane still sees a
 	// single tracer, keeping the untraced hot path at one branch.
 	FlightRecorder *FlightRecorder
+	// Clock is the runtime's time source, read by Switch.Now and driven
+	// against by Switch.Run. Nil installs a monotonic wall clock anchored
+	// at NewSwitch; tests substitute NewManualClock.
+	Clock Clock
 }
 
 // Defaults returns the paper's operating point for a switch provisioned
@@ -202,6 +209,10 @@ type Switch struct {
 	// nil in that mode and every operation routes through the engine.
 	multi *pipes.Engine
 
+	// rt is the switch's event runtime (see runtime.go): the scheduler
+	// behind Switch.Run, Every and registered health checkers.
+	rt *eventRuntime
+
 	tel *Telemetry      // nil when no registry is attached
 	rec *FlightRecorder // nil when no flight recorder is attached
 }
@@ -240,7 +251,9 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Switch{multi: eng, tel: cfg.Telemetry, rec: cfg.FlightRecorder}, nil
+		s := &Switch{multi: eng, tel: cfg.Telemetry, rec: cfg.FlightRecorder}
+		s.rt = newRuntime(cfg.Clock, s)
+		return s, nil
 	}
 	dcfg := cfg.Dataplane
 	if tracer != nil {
@@ -250,12 +263,14 @@ func NewSwitch(cfg Config) (*Switch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Switch{
+	s := &Switch{
 		dp:  dp,
 		cp:  ctrlplane.New(dp, cfg.Controlplane),
 		tel: cfg.Telemetry,
 		rec: cfg.FlightRecorder,
-	}, nil
+	}
+	s.rt = newRuntime(cfg.Clock, s)
+	return s, nil
 }
 
 // Telemetry returns the attached metrics registry, or nil when the switch
@@ -370,6 +385,7 @@ func (s *Switch) RemoveVIP(now Time, vip VIP) error {
 // AddDIP adds a backend to vip's pool with full per-connection
 // consistency (the 3-step update of §4.3 runs under the hood).
 func (s *Switch) AddDIP(now Time, vip VIP, dip DIP) error {
+	defer s.poke()
 	if s.multi != nil {
 		return s.multi.AddDIP(now, vip, dip)
 	}
@@ -380,6 +396,7 @@ func (s *Switch) AddDIP(now Time, vip VIP, dip DIP) error {
 
 // RemoveDIP removes a backend from vip's pool with PCC.
 func (s *Switch) RemoveDIP(now Time, vip VIP, dip DIP) error {
+	defer s.poke()
 	if s.multi != nil {
 		return s.multi.RemoveDIP(now, vip, dip)
 	}
@@ -390,6 +407,7 @@ func (s *Switch) RemoveDIP(now Time, vip VIP, dip DIP) error {
 
 // UpdatePool replaces vip's pool wholesale with PCC.
 func (s *Switch) UpdatePool(now Time, vip VIP, pool []DIP) error {
+	defer s.poke()
 	if s.multi != nil {
 		return s.multi.RequestUpdate(now, vip, pool)
 	}
@@ -413,12 +431,27 @@ func (s *Switch) CurrentPool(vip VIP) ([]DIP, error) {
 // arbitration the pipeline requested (redirected SYNs). On a multi-pipe
 // switch the packet is routed to its connection's pipe.
 func (s *Switch) Process(now Time, pkt *Packet) Result {
+	var res Result
 	if s.multi != nil {
-		return s.multi.Process(now, pkt)
+		res = s.multi.Process(now, pkt)
+	} else {
+		s.mu.Lock()
+		res = s.process(now, pkt)
+		s.mu.Unlock()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.process(now, pkt)
+	if resultSchedulesWork(res) {
+		s.poke()
+	}
+	return res
+}
+
+// resultSchedulesWork reports whether a packet outcome may have queued new
+// timed work with an earlier deadline than the runtime planned to wake for
+// (a learn event's flush, a redirected SYN's CPU insertion). Pure
+// ConnTable hits only push aging deadlines later, so they never need a
+// driver wakeup — which keeps the steady-state packet path poke-free.
+func resultSchedulesWork(res Result) bool {
+	return res.Learned || !res.ConnHit
 }
 
 // ProcessBatch runs a batch of decoded packets through the switch and
@@ -427,15 +460,23 @@ func (s *Switch) Process(now Time, pkt *Packet) Result {
 // goroutines; on a single-pipe switch the batch is processed in order under
 // one lock acquisition.
 func (s *Switch) ProcessBatch(now Time, pkts []*Packet) []Result {
+	var results []Result
 	if s.multi != nil {
-		return s.multi.ProcessBatch(now, pkts)
+		results = s.multi.ProcessBatch(now, pkts)
+	} else {
+		results = make([]Result, len(pkts))
+		s.mu.Lock()
+		for i, pkt := range pkts {
+			results[i] = s.process(now, pkt)
+		}
+		s.mu.Unlock()
 	}
-	results := make([]Result, len(pkts))
-	s.mu.Lock()
-	for i, pkt := range pkts {
-		results[i] = s.process(now, pkt)
+	for i := range results {
+		if resultSchedulesWork(results[i]) {
+			s.poke()
+			break
+		}
 	}
-	s.mu.Unlock()
 	return results
 }
 
@@ -503,6 +544,7 @@ func (s *Switch) ForwardIPIP(now Time, raw []byte, selfAddr netip.Addr) ([]byte,
 // EndConnection tells the switch a connection terminated, freeing its
 // ConnTable entry and possibly retiring a pool version.
 func (s *Switch) EndConnection(now Time, t FiveTuple) {
+	defer s.poke()
 	if s.multi != nil {
 		s.multi.EndConnection(now, t)
 		return
@@ -532,17 +574,6 @@ func (s *Switch) NextEventTime() (Time, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cp.NextEventTime()
-}
-
-// NewHealthChecker builds a §7-style DIP health checker bound to this
-// switch: failed probes drive PCC-preserving RemoveDIP updates, recoveries
-// drive AddDIP. The caller advances the checker alongside the switch:
-//
-//	hc := sw.NewHealthChecker(health.DefaultConfig(), probe)
-//	hc.Watch(vip, dip)
-//	... hc.Advance(now); sw.Advance(now) ...
-func (s *Switch) NewHealthChecker(cfg health.Config, probe health.ProbeFunc) *health.Checker {
-	return health.New(cfg, lockedManager{s}, probe)
 }
 
 // lockedManager adapts the switch's locked facade as a health.PoolManager.
