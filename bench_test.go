@@ -51,6 +51,7 @@ func BenchmarkFig16PCCUpdateFreq(b *testing.B)    { runExperiment(b, "fig16") }
 func BenchmarkFig17PCCArrivalRate(b *testing.B)   { runExperiment(b, "fig17") }
 func BenchmarkFig18TransitTableSize(b *testing.B) { runExperiment(b, "fig18") }
 func BenchmarkSec52Prototype(b *testing.B)        { runExperiment(b, "sec52") }
+func BenchmarkChaosSoak(b *testing.B)             { runExperiment(b, "chaos") }
 
 // --- hot-path microbenchmarks -------------------------------------------
 

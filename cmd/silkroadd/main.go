@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +49,8 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP address serving Prometheus metrics at /metrics (e.g. :9090); empty disables")
 	debug := flag.Bool("debug", false, "serve /debug/silkroad/ (flight recorder, table dumps) and /debug/pprof/ on the -metrics listener")
 	sampleEvery := flag.Int("trace-sample", 0, "with -debug, record every Nth packet in the trace ring (0 = armed flows only)")
+	degHigh := flag.Float64("degraded-high", 0.95, "ConnTable occupancy fraction above which new flows are served stateless (0 disables degraded mode)")
+	degLow := flag.Float64("degraded-low", 0.85, "occupancy fraction below which the switch leaves degraded mode")
 	flag.Parse()
 
 	if *debug && *metricsAddr == "" {
@@ -68,6 +71,8 @@ func main() {
 	}
 
 	cfg := silkroad.Defaults(*conns)
+	cfg.Dataplane.DegradedHighWatermark = *degHigh
+	cfg.Dataplane.DegradedLowWatermark = *degLow
 	telemetry := silkroad.NewTelemetry()
 	cfg.Telemetry = telemetry
 	if *debug {
@@ -131,6 +136,20 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			if err := silkroad.WritePrometheus(w, telemetry.Snapshot(sw.Now())); err != nil {
 				log.Printf("silkroadd: metrics write: %v", err)
+			}
+		})
+		// Readiness: 200 while every pipe is below its occupancy watermark,
+		// 503 with per-pipe detail once any pipe degrades to stateless
+		// service — load-balancer health checks can drain the box before it
+		// starts breaking PCC for new flows.
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			st := sw.DegradedState()
+			w.Header().Set("Content-Type", "application/json")
+			if st.Degraded {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			if err := json.NewEncoder(w).Encode(st); err != nil {
+				log.Printf("silkroadd: readyz write: %v", err)
 			}
 		})
 		if *debug {

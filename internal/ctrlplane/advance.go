@@ -1,6 +1,8 @@
 package ctrlplane
 
 import (
+	"sort"
+
 	"repro/internal/cuckoo"
 	"repro/internal/dataplane"
 	"repro/internal/netproto"
@@ -70,27 +72,82 @@ func (cp *ControlPlane) Advance(now simtime.Time) {
 }
 
 // drainFilter reads one batch from the learning filter and schedules its
-// insertions on the CPU timeline starting at flush time.
+// insertions on the CPU timeline starting at flush time. With a configured
+// MaxInsertQueue, events past the bound are shed (drop-newest): they cost
+// no CPU time and the connections stay unpinned, re-resolving through
+// VIPTable until a later packet re-offers them.
 func (cp *ControlPlane) drainFilter(flushAt simtime.Time) {
 	batch := cp.sw.LearnFilter().Drain()
 	if len(batch) == 0 {
 		return
+	}
+	room := len(batch)
+	if bound := cp.cfg.MaxInsertQueue; bound > 0 {
+		if room = bound - len(cp.queue); room < 0 {
+			room = 0
+		}
 	}
 	start := cp.cpuFreeAt
 	if flushAt.After(start) {
 		start = flushAt
 	}
 	per := cp.perInsert()
-	for i, ev := range batch {
-		cp.queue = append(cp.queue, pendingInsert{
+	accepted := 0
+	for _, ev := range batch {
+		if accepted >= room {
+			cp.metrics.InsertSheds++
+			cp.traceInsert(flushAt, dataplane.VIPOf(ev.Tuple), telemetry.InsertLearned,
+				telemetry.InsertShed, ev.At, ev.Tuple, ev.Version)
+			continue
+		}
+		accepted++
+		cp.enqueue(pendingInsert{
 			ev:         ev,
-			completeAt: start.Add(per * simtime.Duration(i+1)),
+			completeAt: start.Add(per * simtime.Duration(accepted)),
 		})
 	}
-	cp.cpuFreeAt = start.Add(per * simtime.Duration(len(batch)))
+	cp.cpuFreeAt = start.Add(per * simtime.Duration(accepted))
 	if len(cp.queue) > cp.metrics.MaxInsertQueue {
 		cp.metrics.MaxInsertQueue = len(cp.queue)
 	}
+}
+
+// enqueue inserts pi into the CPU queue at its completion-time position.
+// Drained batches land behind cpuFreeAt and append at the tail; retried
+// insertions carry backoff deadlines that may interleave with later
+// drains, so insertion keeps the head-pop execution order correct.
+func (cp *ControlPlane) enqueue(pi pendingInsert) {
+	i := sort.Search(len(cp.queue), func(i int) bool {
+		return cp.queue[i].completeAt.After(pi.completeAt)
+	})
+	cp.queue = append(cp.queue, pendingInsert{})
+	copy(cp.queue[i+1:], cp.queue[i:])
+	cp.queue[i] = pi
+}
+
+// requeueWithBackoff re-schedules a full-table insertion: attempt n waits
+// InsertRetryBackoff<<n (capped at InsertRetryMax) before trying again,
+// giving aging, connection ends or a lifted SRAM squeeze time to free
+// slots.
+func (cp *ControlPlane) requeueWithBackoff(pi pendingInsert) {
+	base := cp.cfg.InsertRetryBackoff
+	if base <= 0 {
+		base = simtime.Duration(simtime.Millisecond)
+	}
+	max := cp.cfg.InsertRetryMax
+	if max <= 0 {
+		max = simtime.Duration(50 * simtime.Millisecond)
+	}
+	d := base << uint(pi.retries)
+	if d > max || d <= 0 {
+		d = max
+	}
+	pi.retries++
+	pi.completeAt = pi.completeAt.Add(d)
+	cp.metrics.InsertRetries++
+	cp.traceInsert(pi.completeAt, dataplane.VIPOf(pi.ev.Tuple), telemetry.InsertLearned,
+		telemetry.InsertRetry, pi.ev.At, pi.ev.Tuple, pi.ev.Version)
+	cp.enqueue(pi)
 }
 
 // traceInsert emits one OnInsert event (no-op when untraced).
@@ -151,6 +208,11 @@ func (cp *ControlPlane) install(pi pendingInsert) {
 		cp.metrics.DuplicateLearns++
 		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertDuplicate, ev.At, ev.Tuple, ev.Version)
 	case err == cuckoo.ErrTableFull:
+		if pi.retries < cp.cfg.MaxInsertRetries {
+			pi.ev = ev // keep the possibly-repinned version
+			cp.requeueWithBackoff(pi)
+			return
+		}
 		// §7: ConnTable acts as a cache; overflow connections stay
 		// unpinned (each packet re-resolves through VIPTable) unless a
 		// software tier picks them up through OnOverflow.

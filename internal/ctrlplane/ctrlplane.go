@@ -66,6 +66,24 @@ type Config struct {
 	// receives the connection and the DIP its packets are currently
 	// hashed to, so a software tier (switch CPU or SLB) can pin it.
 	OnOverflow func(now simtime.Time, tuple netproto.FiveTuple, dip dataplane.DIP)
+	// MaxInsertQueue is a hard bound on the CPU insertion queue. Learn
+	// events that would grow the queue past the bound are shed — dropped
+	// without consuming CPU time; the connection stays unpinned and a later
+	// packet re-offers it through the learning filter. Zero = unbounded
+	// (the pre-bound behaviour; Metrics.MaxInsertQueue then only observes).
+	MaxInsertQueue int
+	// MaxInsertRetries makes insertions that hit cuckoo.ErrTableFull
+	// re-queue with capped exponential backoff instead of failing
+	// terminally: attempt n waits InsertRetryBackoff<<n, capped at
+	// InsertRetryMax. After MaxInsertRetries failed attempts the insertion
+	// falls through to the overflow path (OnOverflow, Metrics.Overflows).
+	// Zero disables retries.
+	MaxInsertRetries int
+	// InsertRetryBackoff is the base retry delay (default 1ms when retries
+	// are enabled and this is zero).
+	InsertRetryBackoff simtime.Duration
+	// InsertRetryMax caps the exponential backoff (default 50ms when zero).
+	InsertRetryMax simtime.Duration
 }
 
 // DefaultConfig returns the paper's control-plane operating point.
@@ -97,6 +115,8 @@ type Metrics struct {
 	AgedOut             uint64
 	ResilientFailovers  uint64
 	ResilientRecoveries uint64
+	InsertRetries       uint64           // full-table insertions re-queued with backoff
+	InsertSheds         uint64           // learn events dropped at the queue bound
 	InsertDelaySum      simtime.Duration // sum over inserts of (install - arrival)
 	MaxInsertQueue      int
 }
@@ -121,6 +141,8 @@ func (m *Metrics) Add(o Metrics) {
 	m.AgedOut += o.AgedOut
 	m.ResilientFailovers += o.ResilientFailovers
 	m.ResilientRecoveries += o.ResilientRecoveries
+	m.InsertRetries += o.InsertRetries
+	m.InsertSheds += o.InsertSheds
 	m.InsertDelaySum += o.InsertDelaySum
 	if o.MaxInsertQueue > m.MaxInsertQueue {
 		m.MaxInsertQueue = o.MaxInsertQueue
@@ -146,6 +168,7 @@ type connShadow struct {
 type pendingInsert struct {
 	ev         learnfilter.Event
 	completeAt simtime.Time
+	retries    int // full-table attempts already made (backoff doubles per retry)
 }
 
 type updState uint8
@@ -197,6 +220,10 @@ type ControlPlane struct {
 
 	cpuFreeAt simtime.Time
 	queue     []pendingInsert
+
+	// insertScale (fault injection) multiplies the configured InsertRate:
+	// 0 or 1 = nominal speed, 0.25 = a browned-out CPU at quarter rate.
+	insertScale float64
 
 	conns map[uint64]*connShadow // keyHash -> shadow
 	vips  map[dataplane.VIP]*vipCtl
@@ -252,8 +279,45 @@ func (cp *ControlPlane) TrackedConns() int { return len(cp.conns) }
 
 // perInsert returns the CPU time of one ConnTable insertion.
 func (cp *ControlPlane) perInsert() simtime.Duration {
-	return simtime.Duration(float64(simtime.Second) / cp.cfg.InsertRate)
+	rate := cp.cfg.InsertRate
+	if cp.insertScale > 0 {
+		rate *= cp.insertScale
+	}
+	return simtime.Duration(float64(simtime.Second) / rate)
 }
+
+// SetInsertRateScale slows the insertion CPU to scale times its configured
+// rate (0 < scale < 1 models a brownout; scale >= 1 or 0 restores nominal
+// speed). Applies to insertions scheduled from now on; already-queued
+// insertions keep their deadlines. Fault-injection hook.
+func (cp *ControlPlane) SetInsertRateScale(scale float64) {
+	if scale < 0 {
+		scale = 0
+	}
+	cp.insertScale = scale
+}
+
+// StallCPU freezes the insertion CPU for d starting at now: every queued
+// insertion not yet executed is pushed back by d, and the CPU accepts no
+// new work until the stall ends. The uniform shift keeps the queue sorted
+// by completion time. Fault-injection hook.
+func (cp *ControlPlane) StallCPU(now simtime.Time, d simtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	for i := range cp.queue {
+		if cp.queue[i].completeAt.After(now) {
+			cp.queue[i].completeAt = cp.queue[i].completeAt.Add(d)
+		}
+	}
+	if cp.cpuFreeAt.Before(now) {
+		cp.cpuFreeAt = now
+	}
+	cp.cpuFreeAt = cp.cpuFreeAt.Add(d)
+}
+
+// QueueDepth returns the current CPU insertion queue length.
+func (cp *ControlPlane) QueueDepth() int { return len(cp.queue) }
 
 // AddVIP announces a VIP with its initial DIP pool. meterBytesPerSec > 0
 // attaches a hardware meter (0 disables metering for this VIP).

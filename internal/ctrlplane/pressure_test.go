@@ -1,0 +1,107 @@
+package ctrlplane
+
+// Insert-queue pressure behaviours: the MaxInsertQueue hard bound with
+// drop-newest shedding, injected CPU stalls, and insertion-rate scaling
+// (brownouts).
+
+import (
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+func TestInsertQueueBoundSheds(t *testing.T) {
+	ccfg := DefaultConfig()
+	ccfg.MaxInsertQueue = 4
+	h := newHarness(t, dataplane.DefaultConfig(10000), ccfg)
+	if err := h.cp.AddVIP(0, testVIP(), poolN(4), 0); err != nil {
+		t.Fatal(err)
+	}
+	// 20 connections land in one learn flush; the queue takes 4, sheds 16.
+	for i := 0; i < 20; i++ {
+		h.send(simtime.Time(i), tupleN(i), netproto.FlagSYN)
+	}
+	h.cp.Advance(ms(1).Add(us(1)))
+	m := h.cp.Metrics()
+	if m.InsertSheds != 16 {
+		t.Fatalf("InsertSheds = %d, want 16", m.InsertSheds)
+	}
+	if m.MaxInsertQueue > 4 {
+		t.Fatalf("MaxInsertQueue = %d exceeded the bound", m.MaxInsertQueue)
+	}
+	// Shed flows stay unpinned but keep forwarding, and later packets
+	// re-offer them; with the queue bounded at 4, each flush round admits
+	// at most 4, so all 20 pin over a handful of rounds.
+	h.cp.Advance(ms(2))
+	if h.cp.QueueDepth() != 0 {
+		t.Fatalf("QueueDepth = %d after drain", h.cp.QueueDepth())
+	}
+	for round := 0; round < 6; round++ {
+		now := ms(3 + 2*round)
+		for i := 0; i < 20; i++ {
+			res := h.send(now, tupleN(i), netproto.FlagACK)
+			if res.Verdict != dataplane.VerdictForward {
+				t.Fatalf("flow %d verdict = %v", i, res.Verdict)
+			}
+		}
+		h.cp.Advance(now.Add(simtime.Duration(2 * simtime.Millisecond)))
+	}
+	if got := h.cp.Metrics().Inserted; got != 20 {
+		t.Fatalf("Inserted after re-offer rounds = %d, want 20", got)
+	}
+	if got := h.cp.Metrics().MaxInsertQueue; got > 4 {
+		t.Fatalf("MaxInsertQueue = %d exceeded the bound across rounds", got)
+	}
+	if h.violations != 0 {
+		t.Fatalf("PCC violations = %d", h.violations)
+	}
+}
+
+func TestStallCPUDelaysInsertions(t *testing.T) {
+	h := defaultHarness(t)
+	tup := tupleN(1)
+	h.send(0, tup, netproto.FlagSYN)
+	// Flush at 1ms queues the insertion to complete at 1ms+5us; a 10ms
+	// stall at 1ms pushes it past 11ms.
+	h.cp.Advance(ms(1))
+	h.cp.StallCPU(ms(1), simtime.Duration(10*simtime.Millisecond))
+	h.cp.Advance(ms(5))
+	if _, ok := h.sw.LookupConn(tup); ok {
+		t.Fatal("insertion completed during the CPU stall")
+	}
+	h.cp.Advance(ms(12))
+	if _, ok := h.sw.LookupConn(tup); !ok {
+		t.Fatal("insertion never completed after the stall")
+	}
+	if got := h.cp.Metrics().Inserted; got != 1 {
+		t.Fatalf("Inserted = %d", got)
+	}
+}
+
+func TestInsertRateScaleSlowsCPU(t *testing.T) {
+	h := defaultHarness(t)
+	h.cp.SetInsertRateScale(0.1) // 5us/insert -> 50us/insert
+	h.send(0, tupleN(1), netproto.FlagSYN)
+	h.send(1, tupleN(2), netproto.FlagSYN)
+	// Both flush at 1ms: completions at 1.05ms and 1.10ms.
+	h.cp.Advance(ms(1).Add(us(60)))
+	if _, ok := h.sw.LookupConn(tupleN(1)); !ok {
+		t.Fatal("first insertion late")
+	}
+	if _, ok := h.sw.LookupConn(tupleN(2)); ok {
+		t.Fatal("second insertion ignored the brownout scale")
+	}
+	h.cp.Advance(ms(1).Add(us(110)))
+	if _, ok := h.sw.LookupConn(tupleN(2)); !ok {
+		t.Fatal("second insertion never completed")
+	}
+	// Restoring scale 1 restores full speed for the next batch.
+	h.cp.SetInsertRateScale(1)
+	h.send(ms(2), tupleN(3), netproto.FlagSYN)
+	h.cp.Advance(ms(3).Add(us(10)))
+	if _, ok := h.sw.LookupConn(tupleN(3)); !ok {
+		t.Fatal("insertion slow after scale restored")
+	}
+}

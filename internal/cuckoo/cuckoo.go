@@ -88,6 +88,7 @@ type Table struct {
 	len        int
 	stageBits  []int // digest width per stage
 	stageOrder []int // stages in descending digest width (insert preference)
+	limit      int   // artificial entry cap (0 = none); see SetOccupancyLimit
 
 	// metrics
 	TotalMoves     int // displacement moves performed by inserts
@@ -177,6 +178,31 @@ func (t *Table) Capacity() int { return t.cfg.Stages * t.cfg.BucketsPerStage * t
 
 // Occupancy returns Len/Capacity.
 func (t *Table) Occupancy() float64 { return float64(t.len) / float64(t.Capacity()) }
+
+// SetOccupancyLimit caps how many entries Insert will accept: at or above
+// limit, insertions fail with ErrTableFull even though physical slots
+// remain. It models SRAM pressure (a smaller chip, or other tables eating
+// the budget) without rebuilding the table, and is the hook the fault
+// injector squeezes. limit <= 0 removes the cap. Existing entries are
+// never evicted; lookups, relocations and deletes are unaffected.
+func (t *Table) SetOccupancyLimit(limit int) {
+	if limit < 0 {
+		limit = 0
+	}
+	t.limit = limit
+}
+
+// OccupancyLimit returns the current artificial entry cap (0 = none).
+func (t *Table) OccupancyLimit() int { return t.limit }
+
+// EffectiveCapacity returns the entry budget insertions actually have:
+// Capacity, lowered to the occupancy limit while one is set.
+func (t *Table) EffectiveCapacity() int {
+	if c := t.Capacity(); t.limit <= 0 || t.limit > c {
+		return c
+	}
+	return t.limit
+}
 
 // EntryBits returns the packed width of one entry at the widest stage.
 func (t *Table) EntryBits() int { return t.cfg.DigestBits + t.cfg.ValueBits + t.cfg.OverheadBits }
@@ -297,6 +323,10 @@ func (t *Table) findExact(keyHash uint64) (Handle, bool) {
 func (t *Table) Insert(keyHash uint64, digest uint32, value uint32) (moves int, err error) {
 	if _, dup := t.findExact(keyHash); dup {
 		return 0, ErrDuplicate
+	}
+	if t.limit > 0 && t.len >= t.limit {
+		t.FailedInserts++
+		return 0, ErrTableFull
 	}
 	h, moves, err := t.place(keyHash, digest, value)
 	if err != nil {

@@ -376,3 +376,47 @@ func BenchmarkInsertAt80Percent(b *testing.B) {
 		}
 	}
 }
+
+func TestOccupancyLimit(t *testing.T) {
+	tab := New(testConfig(64))
+	if got := tab.EffectiveCapacity(); got != tab.Capacity() {
+		t.Fatalf("unlimited EffectiveCapacity = %d, want %d", got, tab.Capacity())
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if _, err := tab.Insert(i, uint32(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab.SetOccupancyLimit(4)
+	if got := tab.EffectiveCapacity(); got != 4 {
+		t.Fatalf("EffectiveCapacity = %d, want 4", got)
+	}
+	failedBefore := tab.FailedInserts
+	if _, err := tab.Insert(99, 99, 0); err != ErrTableFull {
+		t.Fatalf("insert at limit: %v, want ErrTableFull", err)
+	}
+	if tab.FailedInserts != failedBefore+1 {
+		t.Fatal("FailedInserts not counted for limit rejection")
+	}
+	// Duplicates are still detected ahead of the limit check.
+	if _, err := tab.Insert(1, 1, 0); err != ErrDuplicate {
+		t.Fatalf("duplicate at limit: %v, want ErrDuplicate", err)
+	}
+	// Deleting below the limit reopens the table.
+	if !tab.Delete(1) {
+		t.Fatal("Delete failed")
+	}
+	if _, err := tab.Insert(99, 99, 0); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+	// Lifting the limit restores full capacity; a limit beyond capacity is
+	// inert.
+	tab.SetOccupancyLimit(0)
+	if got := tab.EffectiveCapacity(); got != tab.Capacity() {
+		t.Fatalf("lifted EffectiveCapacity = %d", got)
+	}
+	tab.SetOccupancyLimit(tab.Capacity() * 2)
+	if got := tab.EffectiveCapacity(); got != tab.Capacity() {
+		t.Fatalf("oversized limit EffectiveCapacity = %d", got)
+	}
+}

@@ -70,6 +70,16 @@ type Config struct {
 	LearnFilterTimeout  simtime.Duration // 1 ms
 	DisableTransit      bool             // ablation: SilkRoad w/o TransitTable
 	Seed                uint64
+	// DegradedHighWatermark and DegradedLowWatermark enable degraded mode:
+	// fractions of ConnTable's effective capacity (0 < Low < High <= 1).
+	// When occupancy reaches the high watermark the switch stops learning
+	// new flows — they are served stateless through the per-version
+	// VIPTable hash, which is stable as long as the version's pool is —
+	// and resumes learning only once occupancy falls below the low
+	// watermark (hysteresis). Zero disables degraded mode: the switch
+	// learns until cuckoo insertion fails, as before.
+	DegradedHighWatermark float64
+	DegradedLowWatermark  float64
 	// Tracer receives telemetry events from this switch and the components
 	// it owns (learning filter, control plane). Nil disables tracing at the
 	// cost of one branch per event site.
@@ -167,6 +177,8 @@ type Stats struct {
 	SYNRedirectTransit  uint64
 	LearnOffers         uint64
 	ForwardedOldVersion uint64 // packets pinned to an old pool by TransitTable
+	DegradedPackets     uint64 // miss-path packets served stateless in degraded mode
+	DegradedTransitions uint64 // watermark crossings, both directions
 }
 
 // Add accumulates o into s — the per-pipe to chip-level aggregation used by
@@ -185,6 +197,8 @@ func (s *Stats) Add(o Stats) {
 	s.SYNRedirectTransit += o.SYNRedirectTransit
 	s.LearnOffers += o.LearnOffers
 	s.ForwardedOldVersion += o.ForwardedOldVersion
+	s.DegradedPackets += o.DegradedPackets
+	s.DegradedTransitions += o.DegradedTransitions
 }
 
 // vipState is the hardware state for one VIP: its VIPTable row, update
@@ -218,6 +232,12 @@ type Switch struct {
 	tracer telemetry.Tracer // nil = untraced
 	pipe   int
 
+	// Degraded mode (occupancy watermarks): degHigh/degLow are the
+	// configured fractions converted to entry counts against the table's
+	// effective capacity; degHigh == 0 means the mode is disabled.
+	degraded        bool
+	degHigh, degLow int
+
 	stats Stats
 }
 
@@ -229,6 +249,12 @@ func New(cfg Config) (*Switch, error) {
 	}
 	if cfg.VersionBits <= 0 || cfg.VersionBits > 16 {
 		return nil, errors.New("dataplane: VersionBits must be in 1..16")
+	}
+	if cfg.DegradedHighWatermark != 0 || cfg.DegradedLowWatermark != 0 {
+		if cfg.DegradedHighWatermark <= 0 || cfg.DegradedHighWatermark > 1 ||
+			cfg.DegradedLowWatermark <= 0 || cfg.DegradedLowWatermark >= cfg.DegradedHighWatermark {
+			return nil, errors.New("dataplane: degraded watermarks must satisfy 0 < low < high <= 1")
+		}
 	}
 	chip := asic.NewChip(cfg.Chip)
 	tcfg := cuckoo.DefaultConfig(cfg.ConnTableEntries)
@@ -254,7 +280,7 @@ func New(cfg Config) (*Switch, error) {
 	if cfg.Tracer != nil {
 		learn.SetTracer(cfg.Tracer, cfg.Pipe)
 	}
-	return &Switch{
+	sw := &Switch{
 		cfg:        cfg,
 		chip:       chip,
 		conn:       conn,
@@ -266,7 +292,79 @@ func New(cfg Config) (*Switch, error) {
 		dipSeed:    cfg.Seed ^ 0xd1_90_01,
 		tracer:     cfg.Tracer,
 		pipe:       cfg.Pipe,
-	}, nil
+	}
+	sw.refreshWatermarks()
+	return sw, nil
+}
+
+// refreshWatermarks recomputes the degraded-mode entry thresholds from the
+// configured fractions and ConnTable's current effective capacity (which
+// an injected occupancy limit can shrink).
+func (s *Switch) refreshWatermarks() {
+	if s.cfg.DegradedHighWatermark <= 0 {
+		s.degHigh, s.degLow = 0, 0
+		return
+	}
+	capa := float64(s.conn.EffectiveCapacity())
+	s.degHigh = int(s.cfg.DegradedHighWatermark * capa)
+	if s.degHigh < 1 {
+		s.degHigh = 1
+	}
+	s.degLow = int(s.cfg.DegradedLowWatermark * capa)
+	if s.degLow >= s.degHigh {
+		s.degLow = s.degHigh - 1
+	}
+}
+
+// evalDegraded applies the watermark hysteresis against the current
+// ConnTable occupancy and reports whether the switch is degraded. Called
+// on the miss path before learning; transitions count in Stats and emit
+// OnDegraded.
+func (s *Switch) evalDegraded(now simtime.Time) bool {
+	if s.degHigh <= 0 {
+		return false
+	}
+	n := s.conn.Len()
+	switch {
+	case !s.degraded && n >= s.degHigh:
+		s.setDegraded(now, true, n)
+	case s.degraded && n < s.degLow:
+		s.setDegraded(now, false, n)
+	}
+	return s.degraded
+}
+
+func (s *Switch) setDegraded(now simtime.Time, to bool, entries int) {
+	s.degraded = to
+	s.stats.DegradedTransitions++
+	if s.tracer != nil {
+		s.tracer.OnDegraded(telemetry.DegradedEvent{
+			Now:      now,
+			Pipe:     s.pipe,
+			Degraded: to,
+			Entries:  entries,
+			Capacity: s.conn.EffectiveCapacity(),
+		})
+	}
+}
+
+// Degraded reports whether the switch is currently in degraded mode. The
+// flag is evaluated on the miss path, so it reflects the state as of the
+// last learned-or-skipped packet.
+func (s *Switch) Degraded() bool { return s.degraded }
+
+// OccupancyInfo returns ConnTable's entry count and effective capacity
+// (the watermark base).
+func (s *Switch) OccupancyInfo() (entries, capacity int) {
+	return s.conn.Len(), s.conn.EffectiveCapacity()
+}
+
+// SetConnTableLimit injects an artificial ConnTable entry cap (SRAM
+// pressure; 0 removes it) and recomputes the degraded-mode watermarks
+// against the shrunken capacity. Fault-injection hook.
+func (s *Switch) SetConnTableLimit(limit int) {
+	s.conn.SetOccupancyLimit(limit)
+	s.refreshWatermarks()
 }
 
 // Config returns the switch configuration.
@@ -444,6 +542,15 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 		// state for an unroutable connection would only waste SRAM.
 		s.stats.NoBackend++
 		res.Verdict = VerdictNoBackend
+		return res, vs
+	}
+	// Degraded mode: past the high watermark the switch stops learning —
+	// the flow is served stateless by the per-version hash above, which
+	// stays stable while the version's pool does. Hysteresis returns to
+	// stateful service below the low watermark.
+	if s.evalDegraded(now) {
+		s.stats.DegradedPackets++
+		res.Verdict = VerdictForward
 		return res, vs
 	}
 	// Trigger learning: the CPU will install keyHash -> ver.

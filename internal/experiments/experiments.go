@@ -86,6 +86,7 @@ func All() []Runner {
 		{"hybrid", "ConnTable-as-cache with SLB overflow tier (§7)", func(s float64, seed int64) (*Report, error) { return Hybrid(s, seed) }},
 		{"pipes", "Multi-pipe aggregate throughput, 1 vs 4 pipes (BENCH_pipes.json)", func(s float64, seed int64) (*Report, error) { return PipesBench(s, seed) }},
 		{"runtime", "Event-runtime overhead, scheduler vs hand-driven (BENCH_runtime.json)", func(s float64, seed int64) (*Report, error) { return RuntimeBench(s, seed) }},
+		{"chaos", "Chaos soak: fault injection under churn, degradation invariants (CHAOS_soak.json)", func(s float64, seed int64) (*Report, error) { return Chaos(s, seed) }},
 	}
 }
 

@@ -41,6 +41,14 @@ const (
 	KindPoolUpdate = "pool_update"
 	KindCuckoo     = "cuckoo"
 	KindLearnFlush = "learn_flush"
+	// KindInsertPressure: the CPU insertion path shed a learn event at the
+	// queue bound or re-queued a full-table insertion with backoff.
+	KindInsertPressure = "insert_pressure"
+	// KindDegraded: a pipe crossed a ConnTable occupancy watermark and
+	// switched between stateful and stateless (degraded) service.
+	KindDegraded = "degraded"
+	// KindFault: the fault-injection layer applied a fault.
+	KindFault = "fault"
 )
 
 // PacketRecord is one INT-style trace record: the pipeline decisions one
@@ -101,6 +109,20 @@ type JournalRecord struct {
 	// Learn-filter flushes (KindLearnFlush).
 	Batch int  `json:"batch,omitempty"`
 	Full  bool `json:"full,omitempty"`
+
+	// Insert pressure (KindInsertPressure): Op is the outcome ("retry" or
+	// "shed") and QueueDepth the CPU queue length after the event.
+	QueueDepth int `json:"queue_depth,omitempty"`
+
+	// Degraded transitions (KindDegraded): Op is "enter" or "exit"; Len and
+	// Capacity above carry the occupancy at the crossing.
+
+	// Injected faults (KindFault): Op is the fault kind; the remaining
+	// fields carry its parameters.
+	DIP      string           `json:"dip,omitempty"`
+	Duration simtime.Duration `json:"duration_ns,omitempty"`
+	Scale    float64          `json:"scale,omitempty"`
+	Limit    int              `json:"limit,omitempty"`
 }
 
 // slot is one ring cell. seq is the claimed sequence number plus one, so
@@ -360,9 +382,20 @@ func (r *Recorder) OnVerdict(e telemetry.VerdictEvent) {
 	}
 }
 
-// OnInsert records the CPU-side installation for armed flows, then
-// forwards the event.
+// OnInsert records the CPU-side installation for armed flows, journals
+// queue-pressure outcomes (sheds and retries), then forwards the event.
 func (r *Recorder) OnInsert(e telemetry.InsertEvent) {
+	if e.Outcome == telemetry.InsertRetry || e.Outcome == telemetry.InsertShed {
+		r.journal.put(JournalRecord{
+			Now:        e.Now,
+			Pipe:       e.Pipe,
+			Kind:       KindInsertPressure,
+			Op:         e.Outcome.String(),
+			Version:    e.Version,
+			QueueDepth: e.QueueDepth,
+			OK:         true,
+		}, stampJournal)
+	}
 	if r.filterMatch(e.Tuple) {
 		r.packets.put(PacketRecord{
 			Now:        e.Now,
@@ -445,6 +478,44 @@ func (r *Recorder) OnCuckoo(e telemetry.CuckooEvent) {
 	}, stampJournal)
 	if r.inner != nil {
 		r.inner.OnCuckoo(e)
+	}
+}
+
+// OnDegraded journals the watermark crossing, then forwards.
+func (r *Recorder) OnDegraded(e telemetry.DegradedEvent) {
+	op := "exit"
+	if e.Degraded {
+		op = "enter"
+	}
+	r.journal.put(JournalRecord{
+		Now:      e.Now,
+		Pipe:     e.Pipe,
+		Kind:     KindDegraded,
+		Op:       op,
+		Len:      e.Entries,
+		Capacity: e.Capacity,
+		OK:       true,
+	}, stampJournal)
+	if r.inner != nil {
+		r.inner.OnDegraded(e)
+	}
+}
+
+// OnFault journals the injected fault with its parameters, then forwards.
+func (r *Recorder) OnFault(e telemetry.FaultEvent) {
+	r.journal.put(JournalRecord{
+		Now:      e.Now,
+		Pipe:     e.Pipe,
+		Kind:     KindFault,
+		Op:       e.Kind,
+		DIP:      dipString(e.DIP),
+		Duration: e.Duration,
+		Scale:    e.Scale,
+		Limit:    e.Limit,
+		OK:       true,
+	}, stampJournal)
+	if r.inner != nil {
+		r.inner.OnFault(e)
 	}
 }
 

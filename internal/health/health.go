@@ -11,6 +11,7 @@ package health
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/dataplane"
@@ -64,6 +65,25 @@ type targetKey struct {
 	dip dataplane.DIP
 }
 
+// less orders probe targets deterministically (VIP address, port, proto,
+// then DIP address, port) so a probe round visits targets in the same
+// order every run regardless of map iteration order.
+func (a targetKey) less(b targetKey) bool {
+	if c := a.vip.Addr.Compare(b.vip.Addr); c != 0 {
+		return c < 0
+	}
+	if a.vip.Port != b.vip.Port {
+		return a.vip.Port < b.vip.Port
+	}
+	if a.vip.Proto != b.vip.Proto {
+		return a.vip.Proto < b.vip.Proto
+	}
+	if c := a.dip.Addr().Compare(b.dip.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.dip.Port() < b.dip.Port()
+}
+
 type targetState struct {
 	misses    int
 	successes int
@@ -75,17 +95,21 @@ type targetState struct {
 // Checker is safe for concurrent use: the wall-clock runtime advances it
 // from the driver goroutine while the application watches and unwatches
 // targets from its own. Probe and pool-manager callbacks run with the
-// checker's lock held — they must not call back into the checker.
+// checker's lock released, so they may call back into the checker
+// (Down, Watching, Watch, Unwatch, ...) without deadlocking. A target
+// unwatched while a callback for it is in flight is simply skipped when
+// the round resumes.
 type Checker struct {
 	cfg   Config
 	mgr   PoolManager
 	probe ProbeFunc
 
-	mu      sync.Mutex
-	targets map[targetKey]*targetState
-	nextRun simtime.Time
-	started bool
-	metrics Metrics
+	mu        sync.Mutex
+	targets   map[targetKey]*targetState
+	nextRun   simtime.Time
+	started   bool
+	advancing bool // a probe round is in flight (guards reentrant Advance)
+	metrics   Metrics
 }
 
 // New builds a checker.
@@ -153,42 +177,73 @@ func (c *Checker) NextEventTime() (simtime.Time, bool) {
 	return c.nextRun, true
 }
 
-// Advance runs every probe round due at or before now.
+// Advance runs every probe round due at or before now. Reentrant calls
+// (a probe or manager callback driving the scheduler back into the
+// checker) are no-ops: the outer round finishes first.
 func (c *Checker) Advance(now simtime.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.targets) == 0 {
+	if c.advancing || len(c.targets) == 0 {
 		return
 	}
+	c.advancing = true
+	defer func() { c.advancing = false }()
 	if !c.started {
 		c.started = true
 		c.nextRun = now
 	}
-	for !c.nextRun.After(now) {
-		c.runRound(c.nextRun)
+	for len(c.targets) > 0 && !c.nextRun.After(now) {
+		at := c.nextRun
 		c.nextRun = c.nextRun.Add(c.cfg.Interval)
+		c.runRound(at)
 	}
 }
 
-// runRound probes every target once.
+// runRound probes every target once, in deterministic key order. Called
+// (and returns) with c.mu held; the lock is released around every probe
+// and pool-manager call, and the target is re-looked-up afterwards so a
+// concurrent Unwatch simply drops it from the round.
 func (c *Checker) runRound(now simtime.Time) {
-	for k, st := range c.targets {
+	keys := make([]targetKey, 0, len(c.targets))
+	for k := range c.targets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	for _, k := range keys {
+		if _, ok := c.targets[k]; !ok {
+			continue // unwatched mid-round
+		}
 		c.metrics.ProbesSent++
 		c.metrics.ProbeBytes += uint64(c.cfg.ProbeBytes)
-		if c.probe(now, k.dip) {
+		c.mu.Unlock()
+		up := c.probe(now, k.dip)
+		c.mu.Lock()
+		st, ok := c.targets[k]
+		if !ok {
+			continue
+		}
+		if up {
 			st.misses = 0
-			if st.down {
-				st.successes++
-				if st.successes >= c.cfg.RecoverThreshold {
-					if err := c.mgr.AddDIP(now, k.vip, k.dip); err != nil {
-						c.metrics.ManagerErrs++
-					} else {
-						st.down = false
-						st.successes = 0
-						c.metrics.Recoveries++
-					}
-				}
+			if !st.down {
+				continue
 			}
+			st.successes++
+			if st.successes < c.cfg.RecoverThreshold {
+				continue
+			}
+			c.mu.Unlock()
+			err := c.mgr.AddDIP(now, k.vip, k.dip)
+			c.mu.Lock()
+			if st, ok = c.targets[k]; !ok {
+				continue
+			}
+			if err != nil {
+				c.metrics.ManagerErrs++
+				continue
+			}
+			st.down = false
+			st.successes = 0
+			c.metrics.Recoveries++
 			continue
 		}
 		st.successes = 0
@@ -196,15 +251,22 @@ func (c *Checker) runRound(now simtime.Time) {
 			continue
 		}
 		st.misses++
-		if st.misses >= c.cfg.FailThreshold {
-			if err := c.mgr.RemoveDIP(now, k.vip, k.dip); err != nil {
-				c.metrics.ManagerErrs++
-			} else {
-				st.down = true
-				st.misses = 0
-				c.metrics.Failovers++
-			}
+		if st.misses < c.cfg.FailThreshold {
+			continue
 		}
+		c.mu.Unlock()
+		err := c.mgr.RemoveDIP(now, k.vip, k.dip)
+		c.mu.Lock()
+		if st, ok = c.targets[k]; !ok {
+			continue
+		}
+		if err != nil {
+			c.metrics.ManagerErrs++
+			continue
+		}
+		st.down = true
+		st.misses = 0
+		c.metrics.Failovers++
 	}
 }
 

@@ -238,3 +238,92 @@ func TestEndToEndWithControlPlane(t *testing.T) {
 		t.Fatalf("pool after recovery = %v", cur)
 	}
 }
+
+// TestProbeMayCallBackIntoChecker locks in the unlocked-callback contract:
+// a probe that queries the checker (as a fault injector wrapping the probe
+// does) must not deadlock.
+func TestProbeMayCallBackIntoChecker(t *testing.T) {
+	mgr := &fakeMgr{}
+	var c *Checker
+	c = New(DefaultConfig(), mgr, func(now simtime.Time, d dataplane.DIP) bool {
+		// Reentrant reads: these deadlocked when probes ran under c.mu.
+		_ = c.Watching()
+		_ = c.Down(vip(), d)
+		c.Advance(now) // reentrant Advance must be a no-op, not a deadlock
+		return false
+	})
+	c.Watch(vip(), dip(1))
+	for s := 0; s <= 30; s += 10 {
+		c.Advance(sec(s))
+	}
+	if len(mgr.removed) != 1 {
+		t.Fatalf("removed = %v", mgr.removed)
+	}
+}
+
+// unwatchMgr unwatches the very target being acted on from inside the
+// pool-manager callback, as a control plane tearing down a VIP would.
+type unwatchMgr struct {
+	c       *Checker
+	removed int
+}
+
+func (m *unwatchMgr) AddDIP(simtime.Time, dataplane.VIP, dataplane.DIP) error { return nil }
+
+func (m *unwatchMgr) RemoveDIP(now simtime.Time, v dataplane.VIP, d dataplane.DIP) error {
+	m.removed++
+	m.c.Unwatch(v, d)
+	return nil
+}
+
+func TestManagerCallbackMayUnwatch(t *testing.T) {
+	mgr := &unwatchMgr{}
+	c := New(DefaultConfig(), mgr, func(simtime.Time, dataplane.DIP) bool { return false })
+	mgr.c = c
+	c.Watch(vip(), dip(1))
+	c.Watch(vip(), dip(2))
+	for s := 0; s <= 60; s += 10 {
+		c.Advance(sec(s))
+	}
+	if mgr.removed != 2 {
+		t.Fatalf("removed = %d, want 2", mgr.removed)
+	}
+	if c.Watching() != 0 {
+		t.Fatalf("Watching = %d after callbacks unwatched everything", c.Watching())
+	}
+	// The post-callback re-lookup must have seen the deletion: Failovers
+	// counts only committed state transitions, and both targets were gone
+	// before the commit.
+	if got := c.Metrics().Failovers; got != 0 {
+		t.Fatalf("Failovers = %d, want 0 (targets unwatched mid-callback)", got)
+	}
+}
+
+// TestProbeOrderDeterministic: rounds visit targets in sorted key order,
+// not map order.
+type orderMgr struct{ order []dataplane.DIP }
+
+func (m *orderMgr) AddDIP(simtime.Time, dataplane.VIP, dataplane.DIP) error { return nil }
+func (m *orderMgr) RemoveDIP(now simtime.Time, v dataplane.VIP, d dataplane.DIP) error {
+	m.order = append(m.order, d)
+	return nil
+}
+
+func TestProbeOrderDeterministic(t *testing.T) {
+	mgr := &orderMgr{}
+	c := New(DefaultConfig(), mgr, func(simtime.Time, dataplane.DIP) bool { return false })
+	for i := 9; i >= 1; i-- { // watch in reverse order
+		c.Watch(vip(), dip(i))
+	}
+	for s := 0; s <= 30; s += 10 {
+		c.Advance(sec(s))
+	}
+	if len(mgr.order) != 9 {
+		t.Fatalf("removed %d targets, want 9", len(mgr.order))
+	}
+	for i, d := range mgr.order {
+		if d != dip(i+1) {
+			t.Fatalf("removal order[%d] = %v, want %v", i, d, dip(i+1))
+		}
+	}
+}

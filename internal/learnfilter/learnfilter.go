@@ -13,6 +13,8 @@
 package learnfilter
 
 import (
+	"math/rand"
+
 	"repro/internal/netproto"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
@@ -44,6 +46,14 @@ type Filter struct {
 	Duplicates uint64 // suppressed duplicates
 	Flushes    uint64
 	FullFlush  uint64 // flushes triggered by capacity rather than timeout
+	Lost       uint64 // events dropped by injected digest loss
+
+	// Injected digest loss (fault injection): each newly-buffered event is
+	// dropped with probability lossRate, as if the hardware learn digest
+	// never reached the CPU. The flow's later packets keep re-offering, so
+	// loss stretches the pending window instead of losing the flow.
+	lossRate float64
+	lossRNG  *rand.Rand
 
 	tracer telemetry.Tracer // nil = untraced
 	pipe   int
@@ -72,6 +82,10 @@ func (f *Filter) Offer(ev Event) bool {
 	f.Offered++
 	if _, dup := f.pending[ev.KeyHash]; dup {
 		f.Duplicates++
+		return false
+	}
+	if f.lossRate > 0 && f.lossRNG.Float64() < f.lossRate {
+		f.Lost++
 		return false
 	}
 	if len(f.batch) == 0 {
@@ -179,6 +193,19 @@ func (f *Filter) Pending() []Event {
 	out := make([]Event, len(f.batch))
 	copy(out, f.batch)
 	return out
+}
+
+// SetLoss injects digest loss: each event that would be newly buffered is
+// instead dropped with probability rate, drawn from a rate-seeded
+// deterministic stream (same seed + same offer sequence = same drops).
+// rate <= 0 turns loss back off. Fault-injection hook.
+func (f *Filter) SetLoss(rate float64, seed uint64) {
+	if rate <= 0 {
+		f.lossRate, f.lossRNG = 0, nil
+		return
+	}
+	f.lossRate = rate
+	f.lossRNG = rand.New(rand.NewSource(int64(seed)))
 }
 
 // Capacity returns the configured batch capacity.

@@ -212,3 +212,54 @@ func BenchmarkOfferDrain(b *testing.B) {
 		}
 	}
 }
+
+func TestInjectedDigestLoss(t *testing.T) {
+	mkEvents := func() []Event {
+		evs := make([]Event, 64)
+		for i := range evs {
+			evs[i] = Event{KeyHash: uint64(i + 1)}
+		}
+		return evs
+	}
+	offer := func(f *Filter) (buffered int) {
+		for _, ev := range mkEvents() {
+			if f.Offer(ev) {
+				buffered++
+			}
+			f.Drain() // keep the filter empty so every offer is fresh
+		}
+		return buffered
+	}
+
+	a := New(8, simtime.Duration(simtime.Millisecond))
+	a.SetLoss(0.5, 7)
+	gotA := offer(a)
+	if a.Lost == 0 || gotA == 64 {
+		t.Fatalf("no loss injected: buffered=%d Lost=%d", gotA, a.Lost)
+	}
+	if a.Lost+uint64(gotA) != 64 {
+		t.Fatalf("Lost(%d) + buffered(%d) != offered(64)", a.Lost, gotA)
+	}
+
+	// Same seed, same offer sequence: identical drops.
+	b := New(8, simtime.Duration(simtime.Millisecond))
+	b.SetLoss(0.5, 7)
+	if gotB := offer(b); gotB != gotA || b.Lost != a.Lost {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", gotA, a.Lost, gotB, b.Lost)
+	}
+
+	// Duplicates are suppressed before the loss coin flip.
+	c := New(8, simtime.Duration(simtime.Millisecond))
+	c.SetLoss(1.0, 1)
+	if c.Offer(Event{KeyHash: 5}) {
+		t.Fatal("rate-1.0 loss buffered an event")
+	}
+	if c.Lost != 1 {
+		t.Fatalf("Lost = %d", c.Lost)
+	}
+	// Turning loss off restores normal behaviour.
+	c.SetLoss(0, 0)
+	if !c.Offer(Event{KeyHash: 5}) {
+		t.Fatal("offer failed after loss disabled")
+	}
+}

@@ -68,6 +68,20 @@ const (
 	// MetricConnTableOccupancy is ConnTable entries per million slots after
 	// the most recent mutation (chip-wide last-writer-wins across pipes).
 	MetricConnTableOccupancy = "silkroad_conntable_occupancy_ppm"
+	// MetricInsertRetries counts insertions that hit a full ConnTable and
+	// were re-queued with backoff instead of failing terminally.
+	MetricInsertRetries = "silkroad_insert_retries_total"
+	// MetricInsertSheds counts learn events dropped at the CPU insertion
+	// queue's hard bound (Config.MaxInsertQueue).
+	MetricInsertSheds = "silkroad_insert_sheds_total"
+	// MetricDegradedTransitions counts dataplane degraded-mode transitions
+	// (both directions: entering and leaving degraded service).
+	MetricDegradedTransitions = "silkroad_degraded_transitions_total"
+	// MetricDegradedPipes is the number of pipes currently in degraded mode
+	// (new flows served stateless because ConnTable is past its watermark).
+	MetricDegradedPipes = "silkroad_degraded_pipes"
+	// MetricFaultsInjected counts faults applied by the injection layer.
+	MetricFaultsInjected = "silkroad_faults_injected_total"
 )
 
 // Default histogram bounds. Virtual-time histograms span 10 µs to 1 s,
@@ -120,12 +134,14 @@ type Registry struct {
 	// cached built-ins, so hooks never consult the name maps.
 	insertsLearned, digestFPs, bloomFPs *Counter
 	insertDups, insertOverflows         *Counter
+	insertRetries, insertSheds          *Counter
 	updatesRequested, updatesCompleted  *Counter
 	learnFlushes, learnFullFlushes      *Counter
 	meterDropBytes                      *Counter
 	cuckooRelocations, cuckooFailures   *Counter
+	degradedTransitions, faultsInjected *Counter
 	queueDepth, queuePeak               *Gauge
-	connOccupancy                       *Gauge
+	connOccupancy, degradedPipes        *Gauge
 	pendingWindow, learnBatch           *Histogram
 	updRecord, updTransition, updTotal  *Histogram
 	kickChain                           *Histogram
@@ -165,6 +181,11 @@ func NewRegistry() *Registry {
 	r.cuckooFailures = r.Counter(MetricCuckooFailures)
 	r.connOccupancy = r.Gauge(MetricConnTableOccupancy)
 	r.kickChain = r.Histogram(MetricCuckooKickChain, kickBounds)
+	r.insertRetries = r.Counter(MetricInsertRetries)
+	r.insertSheds = r.Counter(MetricInsertSheds)
+	r.degradedTransitions = r.Counter(MetricDegradedTransitions)
+	r.faultsInjected = r.Counter(MetricFaultsInjected)
+	r.degradedPipes = r.Gauge(MetricDegradedPipes)
 	return r
 }
 
@@ -281,6 +302,12 @@ func (r *Registry) OnInsert(e InsertEvent) {
 	case InsertOverflow:
 		r.insertOverflows.Inc()
 		return
+	case InsertRetry:
+		r.insertRetries.Inc()
+		return
+	case InsertShed:
+		r.insertSheds.Inc()
+		return
 	}
 	switch e.Kind {
 	case InsertLearned:
@@ -336,6 +363,22 @@ func (r *Registry) OnCuckoo(e CuckooEvent) {
 	if e.Capacity > 0 {
 		r.connOccupancy.Set(int64(e.Len) * 1_000_000 / int64(e.Capacity))
 	}
+}
+
+// OnDegraded implements Tracer: counts transitions and tracks how many
+// pipes are currently degraded.
+func (r *Registry) OnDegraded(e DegradedEvent) {
+	r.degradedTransitions.Inc()
+	if e.Degraded {
+		r.degradedPipes.Add(1)
+	} else {
+		r.degradedPipes.Add(-1)
+	}
+}
+
+// OnFault implements Tracer.
+func (r *Registry) OnFault(FaultEvent) {
+	r.faultsInjected.Inc()
 }
 
 // OnMeterDrop implements Tracer.

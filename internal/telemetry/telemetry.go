@@ -136,6 +136,13 @@ const (
 	InsertOK        InsertOutcome = iota // entry committed
 	InsertDuplicate                      // connection already installed
 	InsertOverflow                       // ConnTable full; left unpinned
+	// InsertRetry: the insertion hit a full ConnTable and was re-queued
+	// with backoff instead of failing terminally.
+	InsertRetry
+	// InsertShed: the learn event was dropped at the CPU queue's hard
+	// bound (Config.MaxInsertQueue); the connection stays unpinned and a
+	// later packet may re-offer it.
+	InsertShed
 )
 
 // String names the outcome.
@@ -147,6 +154,10 @@ func (o InsertOutcome) String() string {
 		return "duplicate"
 	case InsertOverflow:
 		return "overflow"
+	case InsertRetry:
+		return "retry"
+	case InsertShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("outcome_%d", uint8(o))
 	}
@@ -354,6 +365,33 @@ type CuckooEvent struct {
 	Capacity int
 }
 
+// DegradedEvent reports a dataplane degraded-mode transition: the pipe's
+// ConnTable occupancy crossed a configured watermark, so new flows switch
+// between stateful (learned) and stateless (version-hash) service.
+type DegradedEvent struct {
+	Now      simtime.Time
+	Pipe     int
+	Degraded bool // true = entered degraded mode, false = recovered
+	// Entries and Capacity give the ConnTable occupancy at the transition
+	// (Capacity is the effective capacity, after any injected limit).
+	Entries  int
+	Capacity int
+}
+
+// FaultEvent reports one injected fault (internal/faults) taking effect.
+type FaultEvent struct {
+	Now  simtime.Time
+	Pipe int    // target pipe; -1 = every pipe
+	Kind string // fault kind label (e.g. "dip_down", "cpu_stall")
+	// DIP is set for DIP faults; zero otherwise.
+	DIP netip.AddrPort
+	// Duration, Scale and Limit carry the fault's parameters where they
+	// apply (stall/slowdown length, rate or loss scale, table limit).
+	Duration simtime.Duration
+	Scale    float64
+	Limit    int
+}
+
 // Tracer receives events from the traced components. Implementations must
 // be safe for concurrent use from multiple pipes. The Registry in this
 // package is the default implementation; custom tracers can embed
@@ -374,6 +412,11 @@ type Tracer interface {
 	// OnCuckoo reports ConnTable mutations with kick-chain and relocation
 	// detail (§4.1-4.2 hardware behaviour invisible to the other hooks).
 	OnCuckoo(e CuckooEvent)
+	// OnDegraded reports dataplane degraded-mode transitions (occupancy
+	// watermark crossings).
+	OnDegraded(e DegradedEvent)
+	// OnFault reports injected faults from the fault-injection layer.
+	OnFault(e FaultEvent)
 }
 
 // NopTracer is a Tracer that ignores everything; embed it to implement
@@ -400,3 +443,9 @@ func (NopTracer) OnMeterDrop(MeterDropEvent) {}
 
 // OnCuckoo implements Tracer.
 func (NopTracer) OnCuckoo(CuckooEvent) {}
+
+// OnDegraded implements Tracer.
+func (NopTracer) OnDegraded(DegradedEvent) {}
+
+// OnFault implements Tracer.
+func (NopTracer) OnFault(FaultEvent) {}

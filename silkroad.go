@@ -34,7 +34,9 @@ import (
 
 	"repro/internal/ctrlplane"
 	"repro/internal/dataplane"
+	"repro/internal/faults"
 	"repro/internal/flightrec"
+	"repro/internal/health"
 	"repro/internal/netproto"
 	"repro/internal/pipes"
 	"repro/internal/simtime"
@@ -89,7 +91,44 @@ type (
 	PacketRecord = flightrec.PacketRecord
 	// JournalRecord is one control-plane journal entry.
 	JournalRecord = flightrec.JournalRecord
+	// FaultPlan is a deterministic fault schedule; attach one via
+	// Config.Faults.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault in a FaultPlan.
+	FaultEvent = faults.Event
+	// FaultKind identifies a fault class (FaultDIPDown, FaultCPUStall, ...).
+	FaultKind = faults.Kind
+	// FaultGenConfig parameterizes GenerateFaults.
+	FaultGenConfig = faults.GenConfig
+	// FaultInjector executes the attached FaultPlan on the switch runtime;
+	// Switch.Faults returns it.
+	FaultInjector = faults.Injector
+	// HealthConfig parameterizes Switch.NewHealthChecker; start from
+	// HealthDefaults (the paper's §7 operating point).
+	HealthConfig = health.Config
+	// HealthChecker is the BFD-style prober returned by NewHealthChecker.
+	HealthChecker = health.Checker
+	// HealthProbe reports whether a DIP answered a probe sent at now;
+	// FaultInjector.WrapProbe layers injected outages over one.
+	HealthProbe = health.ProbeFunc
 )
+
+// Fault kinds, re-exported for plan construction.
+const (
+	FaultDIPDown    = faults.DIPDown
+	FaultDIPUp      = faults.DIPUp
+	FaultCPUStall   = faults.CPUStall
+	FaultCPUSlow    = faults.CPUSlow
+	FaultTableLimit = faults.TableLimit
+	FaultDigestLoss = faults.DigestLoss
+)
+
+// GenerateFaults builds a seeded fault schedule: same config, same plan.
+func GenerateFaults(cfg FaultGenConfig) FaultPlan { return faults.Generate(cfg) }
+
+// HealthDefaults returns the paper's §7 health-checking operating point
+// (10 s probe interval, BFD-style 3-miss failover, 100 B probes).
+func HealthDefaults() HealthConfig { return health.DefaultConfig() }
 
 // NewTelemetry creates a metrics registry ready to attach to a switch via
 // Config.Telemetry.
@@ -170,6 +209,12 @@ type Config struct {
 	// against by Switch.Run. Nil installs a monotonic wall clock anchored
 	// at NewSwitch; tests substitute NewManualClock.
 	Clock Clock
+	// Faults, when non-nil, attaches a fault injector executing the plan on
+	// the switch runtime: DIP outages (via health probes wrapped with
+	// Switch.Faults().WrapProbe), CPU stalls and brownouts, ConnTable
+	// occupancy squeezes and learn-digest loss all fire at their scheduled
+	// virtual times, deterministically. Nil keeps the switch fault-free.
+	Faults *FaultPlan
 }
 
 // Defaults returns the paper's operating point for a switch provisioned
@@ -215,6 +260,7 @@ type Switch struct {
 
 	tel *Telemetry      // nil when no registry is attached
 	rec *FlightRecorder // nil when no flight recorder is attached
+	inj *FaultInjector  // nil when no fault plan is attached
 }
 
 // tracerFor composes the configured observability sinks into the single
@@ -253,6 +299,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		}
 		s := &Switch{multi: eng, tel: cfg.Telemetry, rec: cfg.FlightRecorder}
 		s.rt = newRuntime(cfg.Clock, s)
+		s.attachFaults(cfg, tracer)
 		return s, nil
 	}
 	dcfg := cfg.Dataplane
@@ -270,7 +317,106 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		rec: cfg.FlightRecorder,
 	}
 	s.rt = newRuntime(cfg.Clock, s)
+	s.attachFaults(cfg, tracer)
 	return s, nil
+}
+
+// attachFaults builds the injector for Config.Faults (if any) and
+// registers it with the switch runtime, so faults fire in time order with
+// all other scheduled work under both Run and AdvanceTo.
+func (s *Switch) attachFaults(cfg Config, tracer telemetry.Tracer) {
+	if cfg.Faults == nil {
+		return
+	}
+	inj := faults.NewInjector(*cfg.Faults, switchTarget{s})
+	if tracer != nil {
+		inj.SetTracer(tracer)
+	}
+	s.inj = inj
+	s.rt.mu.Lock()
+	s.rt.sched.AddSource(inj)
+	s.rt.mu.Unlock()
+}
+
+// switchTarget adapts the switch as the injector's attack surface: each
+// knob routes to one pipe's control or data plane under that pipe's lock.
+type switchTarget struct{ s *Switch }
+
+func (t switchTarget) valid(pipe int) bool { return pipe >= 0 && pipe < t.s.Pipes() }
+
+func (t switchTarget) NumPipes() int { return t.s.Pipes() }
+
+func (t switchTarget) StallCPU(now Time, pipe int, d Duration) {
+	if !t.valid(pipe) {
+		return
+	}
+	t.s.inspect(pipe, func(_ *dataplane.Switch, cp *ctrlplane.ControlPlane) {
+		cp.StallCPU(now, d)
+	})
+}
+
+func (t switchTarget) SetInsertRateScale(pipe int, scale float64) {
+	if !t.valid(pipe) {
+		return
+	}
+	t.s.inspect(pipe, func(_ *dataplane.Switch, cp *ctrlplane.ControlPlane) {
+		cp.SetInsertRateScale(scale)
+	})
+}
+
+func (t switchTarget) SetConnTableLimit(pipe, limit int) {
+	if !t.valid(pipe) {
+		return
+	}
+	t.s.inspect(pipe, func(dp *dataplane.Switch, _ *ctrlplane.ControlPlane) {
+		dp.SetConnTableLimit(limit)
+	})
+}
+
+func (t switchTarget) SetLearnLoss(pipe int, rate float64, seed uint64) {
+	if !t.valid(pipe) {
+		return
+	}
+	t.s.inspect(pipe, func(dp *dataplane.Switch, _ *ctrlplane.ControlPlane) {
+		dp.LearnFilter().SetLoss(rate, seed)
+	})
+}
+
+// Faults returns the attached fault injector, or nil when the switch was
+// built without a fault plan.
+func (s *Switch) Faults() *FaultInjector { return s.inj }
+
+// PipeDegraded is one pipe's degraded-mode status.
+type PipeDegraded struct {
+	Pipe     int  `json:"pipe"`
+	Degraded bool `json:"degraded"`
+	Entries  int  `json:"entries"`  // current ConnTable occupancy
+	Capacity int  `json:"capacity"` // effective ConnTable capacity
+}
+
+// DegradedState is the switch-wide degraded-mode summary: Degraded is
+// true when any pipe is above its high watermark and serving new flows
+// stateless (existing connections keep their ConnTable pins).
+type DegradedState struct {
+	Degraded bool           `json:"degraded"`
+	Pipes    []PipeDegraded `json:"pipes"`
+}
+
+// DegradedState reports each pipe's degraded-mode status and ConnTable
+// occupancy. cmd/silkroadd serves this from /readyz.
+func (s *Switch) DegradedState() DegradedState {
+	var st DegradedState
+	for i := 0; i < s.Pipes(); i++ {
+		s.inspect(i, func(dp *dataplane.Switch, _ *ctrlplane.ControlPlane) {
+			entries, capacity := dp.OccupancyInfo()
+			pd := PipeDegraded{Pipe: i, Degraded: dp.Degraded(), Entries: entries, Capacity: capacity}
+			st.Pipes = append(st.Pipes, pd)
+			if pd.Degraded {
+				st.Degraded = true
+			}
+		})
+	}
+	return st
 }
 
 // Telemetry returns the attached metrics registry, or nil when the switch
