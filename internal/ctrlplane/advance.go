@@ -252,17 +252,29 @@ func (cp *ControlPlane) NextAging() (simtime.Time, bool) {
 // forwarding decision (for redirects, the decision after software
 // resolution and re-injection).
 func (cp *ControlPlane) HandleResult(now simtime.Time, pkt *netproto.Packet, res dataplane.Result) dataplane.Result {
+	cp.HandleResultInto(now, pkt, &res)
+	return res
+}
+
+// HandleResultInto is HandleResult writing the authoritative decision back
+// through *res. The batch path uses it to finish each packet in its result
+// slot without copying the Result through the call chain; redirects — rare
+// by construction — still take the value-based resolvers.
+func (cp *ControlPlane) HandleResultInto(now simtime.Time, pkt *netproto.Packet, res *dataplane.Result) {
 	switch res.Verdict {
 	case dataplane.VerdictRedirectSYNConn:
-		return cp.resolveConnSYN(now, pkt, res)
+		*res = cp.resolveConnSYN(now, pkt, *res)
 	case dataplane.VerdictRedirectSYNTransit:
-		return cp.resolveTransitSYN(now, pkt, res)
+		*res = cp.resolveTransitSYN(now, pkt, *res)
 	case dataplane.VerdictForward:
-		if sh, ok := cp.conns[res.KeyHash]; ok {
-			sh.lastSeen = now
+		// lastSeen only feeds the aging wheel; with aging disabled the
+		// shadow lookup would be pure per-packet overhead on the hot path.
+		if cp.wheel != nil {
+			if sh, ok := cp.conns[res.KeyHash]; ok {
+				sh.lastSeen = now
+			}
 		}
 	}
-	return res
 }
 
 // resolveConnSYN arbitrates a SYN that hit an existing ConnTable entry: a

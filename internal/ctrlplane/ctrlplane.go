@@ -378,6 +378,19 @@ func (cp *ControlPlane) CurrentPool(vip dataplane.VIP) ([]dataplane.DIP, error) 
 	return clone(vc.pools[vc.curVer]), nil
 }
 
+// TargetPool returns the pool vip's newest requested state maps to — the
+// tail of the update queue, the in-flight update's target, or the current
+// pool when the VIP is idle. The multi-pipe engine snapshots it before a
+// fanned-out update so a mid-fanout failure can be rolled back to exactly
+// the state each pipe was heading for.
+func (cp *ControlPlane) TargetPool(vip dataplane.VIP) ([]dataplane.DIP, error) {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return nil, dataplane.ErrUnknownVIP
+	}
+	return clone(vc.targetPool()), nil
+}
+
 // ActiveVersions returns the number of live pool versions for vip.
 func (cp *ControlPlane) ActiveVersions(vip dataplane.VIP) int {
 	vc, ok := cp.vips[vip]

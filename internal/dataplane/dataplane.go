@@ -70,6 +70,21 @@ type Config struct {
 	LearnFilterTimeout  simtime.Duration // 1 ms
 	DisableTransit      bool             // ablation: SilkRoad w/o TransitTable
 	Seed                uint64
+	// DerivedHashes switches the per-packet connection hashes (KeyHash,
+	// ConnDigest) from byte hashes over the serialized KeyBytes layout to
+	// derivations of one chip-level lane hash of the 5-tuple
+	// (netproto.LaneHash under LaneSeed). The multi-pipe engine enables it
+	// so every pipe derives its key hash and digest from the single ingress
+	// hash the chip already computed to pick the pipe — one fixed-width
+	// hash per packet instead of two serialize-and-byte-hash rounds per
+	// pipe. The two schemes produce unrelated values: never flip the flag
+	// on a switch whose ConnTable holds live entries.
+	DerivedHashes bool
+	// LaneSeed seeds the chip-level lane hash when DerivedHashes is set. It
+	// is shared by every pipe of a chip (unlike Seed, which is diversified
+	// per pipe) and is used verbatim — zero included — so a configuration
+	// never collapses silently onto a different seed.
+	LaneSeed uint64
 	// DegradedHighWatermark and DegradedLowWatermark enable degraded mode:
 	// fractions of ConnTable's effective capacity (0 < Low < High <= 1).
 	// When occupancy reaches the high watermark the switch stops learning
@@ -213,6 +228,14 @@ type vipState struct {
 	pools     map[uint32]poolRow
 	meter     *regarray.Meter      // nil = unmetered
 	tel       *telemetry.VIPSeries // nil when untraced
+
+	// rowVer/rowValid/row memoize the last pools[ver] lookup: nearly every
+	// packet resolves the current version, so the packet path pays one
+	// comparison instead of a map access. The DIPPoolTable mutators
+	// (WritePool, WritePoolBuckets, DeletePool) invalidate the cache.
+	rowVer   uint32
+	rowValid bool
+	row      poolRow
 }
 
 // Switch is one SilkRoad data plane instance on a chip.
@@ -223,7 +246,13 @@ type Switch struct {
 	transit *bloom.Filter
 	learn   *learnfilter.Filter
 	vips    map[VIP]*vipState
-	nextID  uint32
+	// lastVS memoizes the previous packet's VIPTable resolution. Hashing
+	// the VIP struct key dominates the map access cost, and consecutive
+	// packets overwhelmingly hit the same VIP, so the packet path pays a
+	// struct comparison instead. RemoveVIP invalidates the cache (install
+	// cannot alias: a cached pointer always belongs to a still-live VIP).
+	lastVS *vipState
+	nextID uint32
 
 	connSeed   uint64 // key hashing
 	digestSeed uint64
@@ -400,15 +429,26 @@ func (s *Switch) VIPTelemetry(vip VIP) *telemetry.VIPSeries {
 }
 
 // KeyHash returns the 64-bit connection key hash used for table addressing
-// and bloom membership.
+// and bloom membership. Under Config.DerivedHashes it is derived from the
+// chip-level lane hash; otherwise it byte-hashes the serialized key. Every
+// tuple-keyed path (packet processing, CPU inserts and deletes, SYN
+// arbitration) funnels through this method or through Result.KeyHash
+// values it produced, so the two schemes never mix on one table.
 func (s *Switch) KeyHash(t netproto.FiveTuple) uint64 {
+	if s.cfg.DerivedHashes {
+		return hashing.HashUint64(s.connSeed, netproto.LaneHash(s.cfg.LaneSeed, &t))
+	}
 	var buf [37]byte
 	return hashing.Hash64(s.connSeed, t.KeyBytes(buf[:]))
 }
 
 // ConnDigest returns the connection digest stored as the ConnTable match
-// field.
+// field (derived from the lane hash under Config.DerivedHashes).
 func (s *Switch) ConnDigest(t netproto.FiveTuple) uint32 {
+	if s.cfg.DerivedHashes {
+		return hashing.DigestUint64(s.digestSeed, s.cfg.DigestBits,
+			netproto.LaneHash(s.cfg.LaneSeed, &t))
+	}
 	var buf [37]byte
 	return hashing.Digest(s.digestSeed, s.cfg.DigestBits, t.KeyBytes(buf[:]))
 }
@@ -417,7 +457,38 @@ func (s *Switch) ConnDigest(t netproto.FiveTuple) uint32 {
 // forwarding decision. It never blocks and performs no CPU-side work; it
 // may enqueue a learn event or redirect a SYN to the CPU.
 func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
-	res, vs := s.process(now, pkt)
+	var lane uint64
+	if s.cfg.DerivedHashes {
+		lane = netproto.LaneHash(s.cfg.LaneSeed, &pkt.Tuple)
+	}
+	return s.run(now, pkt, lane)
+}
+
+// ProcessLane is Process for callers that already computed the packet's
+// chip-level lane hash — the multi-pipe batch path computes it once per
+// packet to pick the pipe and passes it down so the pipeline does not hash
+// the tuple again. lane must equal netproto.LaneHash(Config.LaneSeed,
+// &pkt.Tuple); it is ignored unless Config.DerivedHashes is set.
+func (s *Switch) ProcessLane(now simtime.Time, pkt *netproto.Packet, lane uint64) Result {
+	return s.run(now, pkt, lane)
+}
+
+// ProcessLaneInto is ProcessLane writing the decision into *out instead of
+// returning it. The multi-pipe batch path uses it to fill each result slot
+// in place — the Result struct is wide enough that the value-returning
+// call chain costs a measurable fraction of the per-packet budget.
+func (s *Switch) ProcessLaneInto(now simtime.Time, pkt *netproto.Packet, lane uint64, out *Result) {
+	s.runInto(now, pkt, lane, out)
+}
+
+func (s *Switch) run(now simtime.Time, pkt *netproto.Packet, lane uint64) Result {
+	var res Result
+	s.runInto(now, pkt, lane, &res)
+	return res
+}
+
+func (s *Switch) runInto(now simtime.Time, pkt *netproto.Packet, lane uint64, res *Result) {
+	vs := s.process(now, pkt, lane, res)
 	if s.tracer != nil {
 		var tel *telemetry.VIPSeries
 		if vs != nil {
@@ -454,17 +525,25 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 			Meter:      meter,
 		})
 	}
-	return res
 }
 
-// process is the pipeline body; it also returns the matched VIP state so
-// the tracing wrapper can label the event without a second map lookup.
-func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipState) {
+// process is the pipeline body, writing the forwarding decision into *res
+// (whose previous contents are overwritten). It returns the matched VIP
+// state so the tracing wrapper can label the event without a second map
+// lookup.
+func (s *Switch) process(now simtime.Time, pkt *netproto.Packet, lane uint64, res *Result) *vipState {
 	s.stats.Packets++
-	vs, ok := s.vips[VIPOf(pkt.Tuple)]
-	if !ok {
-		s.stats.NoVIP++
-		return Result{Verdict: VerdictNoVIP}, nil
+	vip := VIPOf(pkt.Tuple)
+	vs := s.lastVS
+	if vs == nil || vs.vip != vip {
+		var ok bool
+		vs, ok = s.vips[vip]
+		if !ok {
+			s.stats.NoVIP++
+			*res = Result{Verdict: VerdictNoVIP}
+			return nil
+		}
+		s.lastVS = vs
 	}
 	var meterColor regarray.Color
 	metered := vs.meter != nil
@@ -472,12 +551,20 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 		meterColor = vs.meter.Mark(now, pkt.WireLen())
 		if meterColor == regarray.Red {
 			s.stats.MeterDrops++
-			return Result{Verdict: VerdictMeterDrop, Metered: true, Meter: meterColor}, vs
+			*res = Result{Verdict: VerdictMeterDrop, Metered: true, Meter: meterColor}
+			return vs
 		}
 	}
-	keyHash := s.KeyHash(pkt.Tuple)
-	digest := s.ConnDigest(pkt.Tuple)
-	res := Result{KeyHash: keyHash, Digest: digest, Metered: metered, Meter: meterColor}
+	var keyHash uint64
+	var digest uint32
+	if s.cfg.DerivedHashes {
+		keyHash = hashing.HashUint64(s.connSeed, lane)
+		digest = hashing.DigestUint64(s.digestSeed, s.cfg.DigestBits, lane)
+	} else {
+		keyHash = s.KeyHash(pkt.Tuple)
+		digest = s.ConnDigest(pkt.Tuple)
+	}
+	*res = Result{KeyHash: keyHash, Digest: digest, Metered: metered, Meter: meterColor}
 
 	if ver, h, hit := s.conn.Lookup(keyHash, digest); hit {
 		s.stats.ConnHits++
@@ -490,7 +577,7 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 			// SYN or not — drop instead of emitting a zero destination.
 			s.stats.NoBackend++
 			res.Verdict = VerdictNoBackend
-			return res, vs
+			return vs
 		}
 		if pkt.IsSYN() {
 			// A connection-opening packet should miss; a hit suggests a
@@ -498,10 +585,10 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 			// connection). The CPU arbitrates using its 5-tuple shadow.
 			s.stats.SYNRedirectConn++
 			res.Verdict = VerdictRedirectSYNConn
-			return res, vs
+			return vs
 		}
 		res.Verdict = VerdictForward
-		return res, vs
+		return vs
 	}
 	s.stats.ConnMisses++
 
@@ -523,10 +610,10 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 				if !res.DIP.IsValid() {
 					s.stats.NoBackend++
 					res.Verdict = VerdictNoBackend
-					return res, vs
+					return vs
 				}
 				res.Verdict = VerdictRedirectSYNTransit
-				return res, vs
+				return vs
 			}
 		}
 	}
@@ -542,7 +629,7 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 		// state for an unroutable connection would only waste SRAM.
 		s.stats.NoBackend++
 		res.Verdict = VerdictNoBackend
-		return res, vs
+		return vs
 	}
 	// Degraded mode: past the high watermark the switch stops learning —
 	// the flow is served stateless by the per-version hash above, which
@@ -551,7 +638,7 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 	if s.evalDegraded(now) {
 		s.stats.DegradedPackets++
 		res.Verdict = VerdictForward
-		return res, vs
+		return vs
 	}
 	// Trigger learning: the CPU will install keyHash -> ver.
 	if s.learn.Offer(learnfilter.Event{
@@ -566,7 +653,7 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet) (Result, *vipSt
 		s.stats.LearnOffers++
 	}
 	res.Verdict = VerdictForward
-	return res, vs
+	return vs
 }
 
 // poolRow is one DIPPoolTable row. Plain rows select by hash-mod over the
@@ -583,7 +670,14 @@ type poolRow struct {
 // relies on: a pool never changes once created, so the choice is stable),
 // or through the row's resilient bucket table when one is installed.
 func (s *Switch) selectDIP(vs *vipState, ver uint32, keyHash uint64) DIP {
-	row := vs.pools[ver]
+	if !vs.rowValid || vs.rowVer != ver {
+		// A missing version caches the zero row, matching the uncached
+		// lookup's "no backend" result until the version is written (which
+		// invalidates the cache).
+		vs.row = vs.pools[ver]
+		vs.rowVer, vs.rowValid = ver, true
+	}
+	row := vs.row
 	if len(row.buckets) > 0 {
 		return row.buckets[hashing.HashUint64(s.dipSeed, keyHash)%uint64(len(row.buckets))]
 	}

@@ -59,6 +59,7 @@ func (s *Switch) RemoveVIP(vip VIP) error {
 		return ErrUnknownVIP
 	}
 	delete(s.vips, vip)
+	s.lastVS = nil // the packet path's one-entry cache may hold this row
 	return nil
 }
 
@@ -88,6 +89,7 @@ func (s *Switch) WritePool(vip VIP, ver uint32, pool []DIP) error {
 		return err
 	}
 	vs.pools[ver] = poolRow{dips: clonePool(pool)}
+	vs.rowValid = false
 	return nil
 }
 
@@ -115,6 +117,7 @@ func (s *Switch) WritePoolBuckets(vip VIP, ver uint32, dips, buckets []DIP) erro
 		}
 	}
 	vs.pools[ver] = poolRow{dips: clonePool(dips), buckets: clonePool(buckets)}
+	vs.rowValid = false
 	return nil
 }
 
@@ -131,6 +134,7 @@ func (s *Switch) DeletePool(vip VIP, ver uint32) error {
 		return ErrPoolInUse
 	}
 	delete(vs.pools, ver)
+	vs.rowValid = false
 	return nil
 }
 

@@ -45,3 +45,40 @@ func TestPipesBenchShape(t *testing.T) {
 		t.Fatalf("tracked connections differ: %d vs %d", one.Connections, four.Connections)
 	}
 }
+
+// TestGatePipes pins the perf-gate policy: >30% ratio regression against
+// the latest same-scale point fails, anything else — improvements,
+// different scales, missing history — passes.
+func TestGatePipes(t *testing.T) {
+	mk := func(pts ...PipesTrendPoint) PipesBenchResult {
+		return PipesBenchResult{Trajectory: pts}
+	}
+	pt := func(scale, speedup float64) PipesTrendPoint {
+		return PipesTrendPoint{When: "test", Scale: scale, WallclockSpeedX: speedup}
+	}
+	if err := GatePipes(mk()); err != nil {
+		t.Fatalf("empty trajectory: %v", err)
+	}
+	if err := GatePipes(mk(pt(1, 2.0))); err != nil {
+		t.Fatalf("first recorded run: %v", err)
+	}
+	if err := GatePipes(mk(pt(1, 2.0), pt(1, 1.5))); err != nil {
+		t.Fatalf("25%% drop must pass: %v", err)
+	}
+	if err := GatePipes(mk(pt(1, 2.0), pt(1, 1.3))); err == nil {
+		t.Fatal("35% drop must fail the gate")
+	}
+	if err := GatePipes(mk(pt(1, 2.0), pt(0.05, 0.5))); err != nil {
+		t.Fatalf("different scale has no baseline, must pass: %v", err)
+	}
+	// The comparison picks the latest point at the matching scale, skipping
+	// interleaved runs at other scales.
+	if err := GatePipes(mk(pt(0.05, 1.0), pt(1, 2.0), pt(0.05, 1.1))); err != nil {
+		t.Fatalf("same-scale comparison across interleaved scales: %v", err)
+	}
+	// 2.0 against a 3.0 baseline is a 33% drop: the gate must fail even
+	// with a different-scale run recorded in between.
+	if err := GatePipes(mk(pt(1, 3.0), pt(0.05, 1.0), pt(1, 2.0))); err == nil {
+		t.Fatal("33% drop across interleaved scales must fail the gate")
+	}
+}

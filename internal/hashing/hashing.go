@@ -105,3 +105,15 @@ func Digest(seedBits uint64, bits int, data []byte) uint32 {
 	}
 	return uint32(Hash64(seedBits^0xd1ce5fca11ab1e00, data) >> (64 - uint(bits)))
 }
+
+// DigestUint64 computes a b-bit connection digest of a key already reduced
+// to a fixed-width 64-bit value (the derived-hash scheme of multi-pipe
+// chips, where one chip-level lane hash feeds every per-pipe hash unit).
+// The seed-disjointness rules of Digest apply; the two functions produce
+// unrelated digests and must not be mixed on one table.
+func DigestUint64(seedBits uint64, bits int, x uint64) uint32 {
+	if bits <= 0 || bits > 32 {
+		panic("hashing: digest width must be in 1..32")
+	}
+	return uint32(HashUint64(seedBits^0xd1ce5fca11ab1e00, x) >> (64 - uint(bits)))
+}

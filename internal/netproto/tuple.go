@@ -9,9 +9,12 @@
 package netproto
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net/netip"
 	"strings"
+
+	"repro/internal/hashing"
 )
 
 // Proto is an IP protocol number.
@@ -125,6 +128,30 @@ func (t FiveTuple) KeyBytes(buf []byte) []byte {
 		byte(t.DstPort>>8), byte(t.DstPort),
 		byte(t.Proto))
 	return buf
+}
+
+// LaneHash hashes the tuple by packing it into 64-bit lanes and mixing
+// them with fixed-width rounds — no KeyBytes serialization, no byte-slice
+// traffic. It is the software stand-in for a chip-level ingress hash unit:
+// computed once per packet at ingress, with downstream consumers (pipe
+// sharding, per-pipe key hashing and digests) deriving their values from
+// it rather than re-reading the packet. Src and dst do not commute, so the
+// two directions of a flow hash apart, as with KeyBytes. LaneHash values
+// are unrelated to Hash64 over KeyBytes; a table keyed by one scheme must
+// never be probed with the other.
+func LaneHash(seed uint64, t *FiveTuple) uint64 {
+	aux := uint64(t.SrcPort)<<24 | uint64(t.DstPort)<<8 | uint64(t.Proto)
+	if t.Src.Is4() {
+		a, b := t.Src.As4(), t.Dst.As4()
+		lo := uint64(binary.BigEndian.Uint32(a[:]))<<32 | uint64(binary.BigEndian.Uint32(b[:]))
+		return hashing.HashUint64(hashing.HashUint64(seed, lo), aux)
+	}
+	a, b := t.Src.As16(), t.Dst.As16()
+	h := hashing.HashUint64(seed, binary.BigEndian.Uint64(a[:8]))
+	h = hashing.HashUint64(h, binary.BigEndian.Uint64(a[8:]))
+	h = hashing.HashUint64(h, binary.BigEndian.Uint64(b[:8]))
+	h = hashing.HashUint64(h, binary.BigEndian.Uint64(b[8:]))
+	return hashing.HashUint64(h, aux)
 }
 
 // KeySize returns the match-key width in bytes: 13 for IPv4, 37 for IPv6.

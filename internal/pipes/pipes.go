@@ -15,10 +15,17 @@
 // configuration is replicated to every pipe, exactly as the control plane
 // programs identical VIPTable/DIPPoolTable contents into each pipeline.
 //
-// ProcessBatch drives the pipes from one worker goroutine per pipe, which
-// both exercises the sharded path under the race detector and, on
-// multi-core hosts, lets the simulation itself scale. Aggregate Stats,
-// Metrics and SRAM figures are chip-level sums over the pipes.
+// ProcessBatch drives the pipes through N long-lived worker goroutines —
+// one per pipe, started lazily on the first batch and stopped by Close —
+// fed by bounded SPSC descriptor rings (see ring.go). The batch path is
+// allocation-free in steady state: shard buffers and lane-hash buffers are
+// per-engine and reused, the pipe choice and the per-pipe key hashes all
+// derive from one chip-level lane hash per packet (no 37-byte KeyBytes
+// serialization on the hot path), and each result slot is written in place
+// by exactly one executor. This both exercises the sharded path under the
+// race detector and, on multi-core hosts, lets the simulation itself
+// scale. Aggregate Stats, Metrics and SRAM figures are chip-level sums
+// over the pipes.
 package pipes
 
 import (
@@ -66,10 +73,28 @@ type pipe struct {
 }
 
 // Engine is a chip of N parallel pipes behind one management interface.
+// Multi-pipe engines own per-pipe worker goroutines for the batch path;
+// callers that batch should Close the engine when done with it (Close is
+// optional for single-pipe engines and engines that never batched).
 type Engine struct {
-	cfg   Config
-	seed  uint64
-	pipes []*pipe
+	cfg      Config
+	seed     uint64 // shard seed (tuple -> pipe)
+	laneSeed uint64 // chip-level ingress lane hash seed (multi-pipe)
+	pipes    []*pipe
+
+	// Batch path state (multi-pipe only). batchMu serializes producers:
+	// it keeps each pipe's ring single-producer and lets the shard/lane
+	// buffers below be reused allocation-free across batches.
+	batchMu  sync.Mutex
+	workers  []*pipeWorker
+	jobs     []*batchJob
+	shards   [][]int32 // per-pipe packet indices, reused
+	lanes    []uint64  // per-packet lane hashes, reused
+	batchWG  sync.WaitGroup
+	started  bool // workers launched (lazily, on first batch)
+	closed   bool // Close ran; later batches execute on the caller
+	quit     chan struct{}
+	workerWG sync.WaitGroup
 }
 
 // Stats aggregates per-pipe hardware and software counters into chip-level
@@ -87,6 +112,10 @@ type Stats struct {
 // New builds an engine of cfg.Pipes pipes. Each pipe receives 1/N of the
 // chip SRAM and of the ConnTable sizing target; seeds are diversified per
 // pipe so the pipes' hash functions are independent, as on real hardware.
+// shardSeedSalt diversifies the default shard seed away from the chip
+// seed, so sharding and in-pipe hashing stay independent functions.
+const shardSeedSalt = 0x9155_0a1d_70_4e5
+
 func New(cfg Config) (*Engine, error) {
 	n := cfg.Pipes
 	if n < 1 {
@@ -94,14 +123,33 @@ func New(cfg Config) (*Engine, error) {
 	}
 	seed := cfg.ShardSeed
 	if seed == 0 {
-		seed = cfg.Dataplane.Seed ^ 0x9155_0a1d_70_4e5
+		seed = cfg.Dataplane.Seed ^ shardSeedSalt
+		if seed == 0 {
+			// Dataplane.Seed == shardSeedSalt: the XOR would collapse to
+			// zero and the shard hash would silently run unseeded. Keep the
+			// derivation explicit and deterministic instead.
+			seed = shardSeedSalt
+		}
 	}
-	e := &Engine{cfg: cfg, seed: seed, pipes: make([]*pipe, n)}
+	e := &Engine{
+		cfg:      cfg,
+		seed:     seed,
+		laneSeed: cfg.Dataplane.Seed,
+		pipes:    make([]*pipe, n),
+		quit:     make(chan struct{}),
+	}
 	for i := range e.pipes {
 		dcfg := cfg.Dataplane
 		dcfg.Chip = dcfg.Chip.PerPipe(n)
 		dcfg.ConnTableEntries = (cfg.Dataplane.ConnTableEntries + n - 1) / n
 		dcfg.Seed = cfg.Dataplane.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
+		if n > 1 {
+			// Multi-pipe chips hash the tuple once at ingress and let every
+			// pipe derive its key hash and digest from that lane hash; the
+			// single-pipe engine keeps the byte-hashing scheme bit-for-bit.
+			dcfg.DerivedHashes = true
+			dcfg.LaneSeed = e.laneSeed
+		}
 		if cfg.Tracer != nil {
 			dcfg.Tracer = cfg.Tracer
 		}
@@ -112,19 +160,55 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.pipes[i] = &pipe{dp: dp, cp: ctrlplane.New(dp, cfg.Controlplane)}
 	}
+	if n > 1 {
+		e.workers = make([]*pipeWorker, n)
+		e.jobs = make([]*batchJob, n)
+		e.shards = make([][]int32, n)
+		for i := range e.workers {
+			e.workers[i] = &pipeWorker{notify: make(chan struct{}, 1)}
+			e.jobs[i] = &batchJob{wg: &e.batchWG}
+			e.jobs[i].state.Store(jobClaimed) // nothing published yet
+		}
+	}
 	return e, nil
+}
+
+// Close stops the engine's per-pipe batch workers and waits for them to
+// exit. It is idempotent, safe to call concurrently with ProcessBatch —
+// in-flight batches complete first — and does not disable the engine:
+// later batches still work, executing on the caller's goroutine through
+// the same job path. Single-pipe engines have no workers; Close is a
+// no-op.
+func (e *Engine) Close() {
+	if len(e.pipes) == 1 {
+		return
+	}
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.started {
+		close(e.quit)
+		e.workerWG.Wait()
+	}
 }
 
 // NumPipes returns the number of pipes.
 func (e *Engine) NumPipes() int { return len(e.pipes) }
 
-// PipeOf returns the index of the pipe that carries connection t. The shard
-// hashes the full 5-tuple, so both directions of sharding stay stable for a
+// PipeOf returns the index of the pipe that carries connection t. The
+// shard hashes the full 5-tuple — through the chip-level lane hash, not a
+// KeyBytes serialization round-trip — so sharding stays stable for a
 // connection's lifetime and per-pipe ConnTables never see each other's
-// flows.
+// flows. Every tuple-addressed entry point (Process, ProcessBatch,
+// EndConnection) uses this one mapping.
 func (e *Engine) PipeOf(t netproto.FiveTuple) int {
-	var buf [37]byte
-	return int(hashing.Hash64(e.seed, t.KeyBytes(buf[:])) % uint64(len(e.pipes)))
+	if len(e.pipes) == 1 {
+		return 0
+	}
+	return int(hashing.HashUint64(e.seed, netproto.LaneHash(e.laneSeed, &t)) % uint64(len(e.pipes)))
 }
 
 // Dataplane exposes pipe i's data plane for inspection. Callers must not
@@ -162,48 +246,99 @@ func (e *Engine) Process(now simtime.Time, pkt *netproto.Packet) dataplane.Resul
 }
 
 // ProcessBatch runs a batch of packets through the chip: packets are
-// scattered to their owning pipes, each pipe processes its share in arrival
-// order on its own worker goroutine, and results are gathered back in input
-// order. Result i corresponds to pkts[i].
+// scattered to their owning pipes, each pipe processes its share in
+// arrival order, and results are gathered back in input order. Result i
+// corresponds to pkts[i]. On a multi-pipe engine the shares run as jobs on
+// the per-pipe workers (see ring.go); the call returns once every share
+// has completed.
 func (e *Engine) ProcessBatch(now simtime.Time, pkts []*netproto.Packet) []dataplane.Result {
 	results := make([]dataplane.Result, len(pkts))
+	e.ProcessBatchInto(now, pkts, results)
+	return results
+}
+
+// ProcessBatchInto is ProcessBatch writing into a caller-provided results
+// slice (len(results) >= len(pkts)), the allocation-free form for callers
+// that reuse buffers across batches. results[i] corresponds to pkts[i];
+// slots past len(pkts) are untouched.
+func (e *Engine) ProcessBatchInto(now simtime.Time, pkts []*netproto.Packet, results []dataplane.Result) {
 	if len(pkts) == 0 {
-		return results
+		return
 	}
 	if len(e.pipes) == 1 {
+		// The single-pipe case keeps the plain lock-based loop: there is
+		// nothing to shard and nothing to hand off.
 		p := e.pipes[0]
 		p.mu.Lock()
 		for i, pkt := range pkts {
 			results[i] = p.process(now, pkt)
 		}
 		p.mu.Unlock()
-		return results
+		return
 	}
-	// Scatter: per-pipe index lists preserve arrival order within a pipe.
-	shards := make([][]int, len(e.pipes))
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	if !e.started && !e.closed {
+		e.started = true
+		for pi := range e.pipes {
+			e.workerWG.Add(1)
+			go e.worker(pi)
+		}
+	}
+	// Scatter: one lane hash per packet feeds both the pipe choice and —
+	// via ProcessLane — the pipe's key hash and digest, so the tuple is
+	// hashed exactly once on this path. Index lists preserve arrival order
+	// within a pipe.
+	if cap(e.lanes) < len(pkts) {
+		e.lanes = make([]uint64, len(pkts))
+	}
+	lanes := e.lanes[:len(pkts)]
+	n := uint64(len(e.pipes))
+	for pi := range e.shards {
+		e.shards[pi] = e.shards[pi][:0]
+	}
 	for i, pkt := range pkts {
-		pi := e.PipeOf(pkt.Tuple)
-		shards[pi] = append(shards[pi], i)
+		lane := netproto.LaneHash(e.laneSeed, &pkt.Tuple)
+		lanes[i] = lane
+		pi := hashing.HashUint64(e.seed, lane) % n
+		e.shards[pi] = append(e.shards[pi], int32(i))
 	}
-	var wg sync.WaitGroup
-	for pi, idxs := range shards {
-		if len(idxs) == 0 {
+	// Publish one descriptor per non-empty shard and wake its worker. A
+	// full ring or a closed engine just skips the hand-off: the assist
+	// pass below runs the job inline.
+	for pi := range e.pipes {
+		if len(e.shards[pi]) == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(p *pipe, idxs []int) {
-			defer wg.Done()
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			for _, i := range idxs {
-				// Disjoint index sets: each result slot is written by
-				// exactly one worker.
-				results[i] = p.process(now, pkts[i])
+		j := e.jobs[pi]
+		j.now, j.pkts, j.idxs, j.lanes, j.results = now, pkts, e.shards[pi], lanes, results
+		// Order matters: the completion count and the job fields must be in
+		// place before the state reset publishes the job — a worker can
+		// claim it through a stale ring entry the instant state reads
+		// jobQueued, before the push below.
+		e.batchWG.Add(1)
+		j.state.Store(jobQueued)
+		if e.started && !e.closed && e.workers[pi].ring.push(j) {
+			select {
+			case e.workers[pi].notify <- struct{}{}:
+			default:
 			}
-		}(e.pipes[pi], idxs)
+		}
 	}
-	wg.Wait()
-	return results
+	// Producer assist: claim and run whatever the workers have not picked
+	// up yet, then wait out the jobs they did claim.
+	for pi := range e.pipes {
+		if len(e.shards[pi]) > 0 {
+			e.executeJob(pi, e.jobs[pi])
+		}
+	}
+	e.batchWG.Wait()
+	// Drop the caller's memory from the reusable descriptors so the engine
+	// does not pin the last batch's packets between calls.
+	for pi := range e.pipes {
+		j := e.jobs[pi]
+		j.pkts, j.idxs, j.lanes, j.results = nil, nil, nil, nil
+	}
 }
 
 // AddVIP announces a VIP with an initial pool on every pipe (VIP
@@ -227,41 +362,86 @@ func (e *Engine) AddVIP(now simtime.Time, vip dataplane.VIP, pool []dataplane.DI
 	return nil
 }
 
-// RemoveVIP withdraws a VIP from every pipe. All pipes are attempted; the
-// first error is returned.
+// RemoveVIP withdraws a VIP from every pipe. Unlike the pool operations
+// below, a failure triggers no rollback: every pipe is attempted and the
+// first error returned, because the target state — "VIP absent" — is
+// already identical on every pipe that succeeded or never had the VIP, so
+// the operation converges without repair.
 func (e *Engine) RemoveVIP(now simtime.Time, vip dataplane.VIP) error {
-	return e.fanout(func(p *pipe) error { return p.cp.RemoveVIP(now, vip) })
-}
-
-// AddDIP adds a backend to vip's pool on every pipe with PCC.
-func (e *Engine) AddDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
-	return e.fanout(func(p *pipe) error { return p.cp.AddDIP(now, vip, dip) })
-}
-
-// RemoveDIP removes a backend from vip's pool on every pipe with PCC.
-func (e *Engine) RemoveDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
-	return e.fanout(func(p *pipe) error { return p.cp.RemoveDIP(now, vip, dip) })
-}
-
-// RequestUpdate replaces vip's pool wholesale on every pipe with PCC.
-func (e *Engine) RequestUpdate(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP) error {
-	return e.fanout(func(p *pipe) error { return p.cp.RequestUpdate(now, vip, pool) })
-}
-
-// fanout applies op to every pipe under its lock, returning the first
-// error after attempting all pipes (config errors are deterministic across
-// pipes because VIP-level state is replicated).
-func (e *Engine) fanout(op func(p *pipe) error) error {
 	var first error
 	for _, p := range e.pipes {
 		p.mu.Lock()
-		err := op(p)
+		err := p.cp.RemoveVIP(now, vip)
 		p.mu.Unlock()
 		if err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// AddDIP adds a backend to vip's pool on every pipe with PCC. A mid-fanout
+// failure removes the backend again from the pipes already updated.
+func (e *Engine) AddDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
+	return e.fanout(
+		func(p *pipe) error { return p.cp.AddDIP(now, vip, dip) },
+		func(p *pipe) { _ = p.cp.RemoveDIP(now, vip, dip) },
+	)
+}
+
+// RemoveDIP removes a backend from vip's pool on every pipe with PCC. A
+// mid-fanout failure re-adds the backend on the pipes already updated.
+func (e *Engine) RemoveDIP(now simtime.Time, vip dataplane.VIP, dip dataplane.DIP) error {
+	return e.fanout(
+		func(p *pipe) error { return p.cp.RemoveDIP(now, vip, dip) },
+		func(p *pipe) { _ = p.cp.AddDIP(now, vip, dip) },
+	)
+}
+
+// RequestUpdate replaces vip's pool wholesale on every pipe with PCC. A
+// mid-fanout failure re-requests, on the pipes already updated, the target
+// pool each was heading for before the call.
+func (e *Engine) RequestUpdate(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP) error {
+	prior := make(map[*pipe][]dataplane.DIP, len(e.pipes))
+	return e.fanout(
+		func(p *pipe) error {
+			if before, err := p.cp.TargetPool(vip); err == nil {
+				prior[p] = before
+			}
+			return p.cp.RequestUpdate(now, vip, pool)
+		},
+		func(p *pipe) {
+			if before, ok := prior[p]; ok {
+				_ = p.cp.RequestUpdate(now, vip, before)
+			}
+		},
+	)
+}
+
+// fanout applies op to the pipes in order; on the first failure it applies
+// undo to the pipes already mutated, in reverse order, and returns the
+// error — the same discipline as AddVIP, so a mid-fanout failure cannot
+// leave the chip with diverged per-pipe pools. Config errors are
+// deterministic across pipes when VIP state is replicated, so in the
+// common case pipe 0 fails and there is nothing to undo; the rollback
+// covers the pathological cases (a pipe diverged through direct
+// Controlplane access, version exhaustion on one pipe).
+func (e *Engine) fanout(op func(p *pipe) error, undo func(p *pipe)) error {
+	for i, p := range e.pipes {
+		p.mu.Lock()
+		err := op(p)
+		p.mu.Unlock()
+		if err != nil {
+			for j := i - 1; j >= 0; j-- {
+				q := e.pipes[j]
+				q.mu.Lock()
+				undo(q)
+				q.mu.Unlock()
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // CurrentPool returns the pool new connections map to (identical on every

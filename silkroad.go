@@ -156,6 +156,30 @@ const (
 	UDP = netproto.ProtoUDP
 )
 
+// TCP flag bits for Packet.TCPFlags.
+const (
+	FlagFIN = netproto.FlagFIN
+	FlagSYN = netproto.FlagSYN
+	FlagRST = netproto.FlagRST
+	FlagACK = netproto.FlagACK
+)
+
+// Verdict classifies the outcome of processing one packet; see
+// Result.Verdict.
+type Verdict = dataplane.Verdict
+
+// Verdicts.
+const (
+	// VerdictForward: the packet was forwarded to Result.DIP.
+	VerdictForward = dataplane.VerdictForward
+	// VerdictNoVIP: destination is not a registered VIP.
+	VerdictNoVIP = dataplane.VerdictNoVIP
+	// VerdictMeterDrop: the VIP's meter marked the packet red.
+	VerdictMeterDrop = dataplane.VerdictMeterDrop
+	// VerdictNoBackend: the selected DIP pool version holds no backends.
+	VerdictNoBackend = dataplane.VerdictNoBackend
+)
+
 // Common durations.
 const (
 	Microsecond = simtime.Microsecond
@@ -601,9 +625,9 @@ func resultSchedulesWork(res Result) bool {
 }
 
 // ProcessBatch runs a batch of decoded packets through the switch and
-// returns one Result per packet, in input order. On a multi-pipe switch the
-// batch is sharded by connection and the pipes run in parallel on worker
-// goroutines; on a single-pipe switch the batch is processed in order under
+// returns one Result per packet, in input order. On a multi-pipe switch
+// the batch is sharded by connection onto the engine's persistent per-pipe
+// workers; on a single-pipe switch the batch is processed in order under
 // one lock acquisition.
 func (s *Switch) ProcessBatch(now Time, pkts []*Packet) []Result {
 	var results []Result
@@ -617,6 +641,12 @@ func (s *Switch) ProcessBatch(now Time, pkts []*Packet) []Result {
 		}
 		s.mu.Unlock()
 	}
+	// One poke covers the whole batch, even when several pipes queued new
+	// deadlines: the engine returns only after every pipe's share has
+	// completed, so all that work is already scheduled when the scan below
+	// runs, and Poke merely makes the wall driver re-read NextDue — the
+	// minimum deadline across every pipe — rather than waking it for a
+	// specific pipe. Breaking on the first hit is therefore wake-loss-free.
 	for i := range results {
 		if resultSchedulesWork(results[i]) {
 			s.poke()
@@ -624,6 +654,19 @@ func (s *Switch) ProcessBatch(now Time, pkts []*Packet) []Result {
 		}
 	}
 	return results
+}
+
+// Close releases the switch's background machinery: on a multi-pipe
+// switch it stops the engine's per-pipe batch workers and waits for them
+// to exit (ProcessBatch keeps working afterwards — batches then run on
+// the caller's goroutine). It does not stop an active Run; cancel that
+// context first. Close is idempotent and safe to call concurrently with
+// the packet path.
+func (s *Switch) Close() error {
+	if s.multi != nil {
+		s.multi.Close()
+	}
+	return nil
 }
 
 func (s *Switch) process(now Time, pkt *Packet) Result {
