@@ -13,6 +13,12 @@
 //
 //	silkroadd -listen :9000 -vip 20.0.0.1:80 -dips 127.0.0.1:9001,127.0.0.1:9002
 //
+// Configuration is declarative: the -vip/-dips flags are folded into a
+// one-VIP ClusterSpec and applied through the same reconcile engine as
+// -config <file> (a JSON spec, polled for changes and re-applied) and the
+// PUT /v1/spec endpoint on the -metrics listener. GET /configz reports the
+// last applied spec, its generation and per-VIP status conditions.
+//
 // Test it with cmd/tracegen's -emit mode or any tool that sends raw
 // IPv4/TCP bytes over UDP.
 package main
@@ -23,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -31,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -38,10 +46,51 @@ import (
 	"repro/internal/netproto"
 )
 
+// specSource tracks where the live spec came from and the last load error,
+// for /configz.
+type specSource struct {
+	mu      sync.Mutex
+	source  string // "flags", "file:<path>", "api"
+	lastErr string
+}
+
+func (ss *specSource) set(source, lastErr string) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.source = source
+	ss.lastErr = lastErr
+}
+
+func (ss *specSource) get() (string, string) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.source, ss.lastErr
+}
+
+// applySpecFile loads, parses and applies one spec file. Returns an error
+// for unreadable or invalid specs; the switch keeps serving its previous
+// state in that case.
+func applySpecFile(sw *silkroad.Switch, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := silkroad.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	if _, err := sw.Apply(sw.Now(), spec); err != nil {
+		return err
+	}
+	return nil
+}
+
 func main() {
 	listen := flag.String("listen", ":9000", "UDP address to receive encapsulated packets on")
-	vipFlag := flag.String("vip", "20.0.0.1:80", "VIP address:port to announce (TCP)")
-	dipsFlag := flag.String("dips", "127.0.0.1:9001,127.0.0.1:9002", "comma-separated DIP address:port list")
+	vipFlag := flag.String("vip", "20.0.0.1:80", "VIP address:port to announce (TCP); ignored with -config")
+	dipsFlag := flag.String("dips", "127.0.0.1:9001,127.0.0.1:9002", "comma-separated DIP address:port list; ignored with -config")
+	configFlag := flag.String("config", "", "JSON ClusterSpec file; polled for changes and re-applied declaratively")
+	configPoll := flag.Duration("config-poll", 2*time.Second, "poll interval for -config file changes")
 	conns := flag.Int("conns", 1_000_000, "ConnTable provisioning")
 	mode := flag.String("mode", "rewrite", "forwarding mode: rewrite (DNAT) or ipip (encapsulate, DSR)")
 	selfAddr := flag.String("self", "192.0.2.1", "outer source address for -mode ipip")
@@ -55,19 +104,6 @@ func main() {
 
 	if *debug && *metricsAddr == "" {
 		log.Fatal("silkroadd: -debug needs -metrics to serve the debug endpoints on")
-	}
-
-	vipAP, err := netip.ParseAddrPort(*vipFlag)
-	if err != nil {
-		log.Fatalf("silkroadd: bad -vip: %v", err)
-	}
-	var pool []silkroad.DIP
-	for _, d := range strings.Split(*dipsFlag, ",") {
-		ap, err := netip.ParseAddrPort(strings.TrimSpace(d))
-		if err != nil {
-			log.Fatalf("silkroadd: bad DIP %q: %v", d, err)
-		}
-		pool = append(pool, ap)
 	}
 
 	cfg := silkroad.Defaults(*conns)
@@ -84,9 +120,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	vip := silkroad.VIP{Addr: vipAP.Addr(), Port: vipAP.Port(), Proto: silkroad.TCP}
-	if err := sw.AddVIP(0, vip, pool); err != nil {
-		log.Fatal(err)
+
+	// Bootstrap the desired state: either the -config spec file, or the
+	// -vip/-dips flags folded into a one-VIP spec. Both go through the same
+	// Apply path, so a later PUT /v1/spec or config reload diffs cleanly
+	// against whatever we started from.
+	src := &specSource{}
+	if *configFlag != "" {
+		if err := applySpecFile(sw, *configFlag); err != nil {
+			log.Fatalf("silkroadd: -config %s: %v", *configFlag, err)
+		}
+		src.set("file:"+*configFlag, "")
+	} else {
+		var pool []string
+		for _, d := range strings.Split(*dipsFlag, ",") {
+			pool = append(pool, strings.TrimSpace(d))
+		}
+		spec := &silkroad.ClusterSpec{
+			Version: silkroad.SpecVersion,
+			VIPs:    []silkroad.VIPSpec{{VIP: *vipFlag, Pool: pool}},
+		}
+		if _, err := sw.Apply(sw.Now(), spec); err != nil {
+			log.Fatalf("silkroadd: bad -vip/-dips: %v", err)
+		}
+		src.set("flags", "")
 	}
 	self, err := netip.ParseAddr(*selfAddr)
 	if err != nil {
@@ -95,7 +152,10 @@ func main() {
 	if *mode != "rewrite" && *mode != "ipip" {
 		log.Fatalf("silkroadd: bad -mode %q", *mode)
 	}
-	log.Printf("silkroadd: announcing %v -> %v (%s mode)", vip, pool, *mode)
+	for _, st := range sw.VIPStatuses() {
+		log.Printf("silkroadd: announcing %s [%s] (%s mode, generation %d)",
+			st.VIP, st.Condition, *mode, sw.SpecGeneration())
+	}
 
 	pc, err := net.ListenUDP("udp", mustUDPAddr(*listen))
 	if err != nil {
@@ -129,6 +189,34 @@ func main() {
 			st.Connections, st.MemoryBytes)
 	})
 
+	// Config-file watch: poll the spec file's mtime on the switch runtime
+	// and re-apply on change. A broken edit is logged and reported via
+	// /configz; the switch keeps serving the last good spec.
+	stopConfig := func() {}
+	if *configFlag != "" {
+		var lastMod time.Time
+		if fi, err := os.Stat(*configFlag); err == nil {
+			lastMod = fi.ModTime()
+		}
+		stopConfig = sw.Every(silkroad.Duration((*configPoll).Nanoseconds()), func(now silkroad.Time) {
+			fi, err := os.Stat(*configFlag)
+			if err != nil {
+				return
+			}
+			if fi.ModTime().Equal(lastMod) {
+				return
+			}
+			lastMod = fi.ModTime()
+			if err := applySpecFile(sw, *configFlag); err != nil {
+				log.Printf("silkroadd: config reload %s: %v", *configFlag, err)
+				src.set("file:"+*configFlag, err.Error())
+				return
+			}
+			src.set("file:"+*configFlag, "")
+			log.Printf("silkroadd: applied %s (generation %d)", *configFlag, sw.SpecGeneration())
+		})
+	}
+
 	var srv *http.Server
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
@@ -151,6 +239,58 @@ func main() {
 			if err := json.NewEncoder(w).Encode(st); err != nil {
 				log.Printf("silkroadd: readyz write: %v", err)
 			}
+		})
+		// Declarative config API: PUT a whole spec, read back what is
+		// applied. Invalid specs answer 422 with the full error list and
+		// touch nothing.
+		mux.HandleFunc("/v1/spec", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPut {
+				w.Header().Set("Allow", http.MethodPut)
+				http.Error(w, "use PUT", http.StatusMethodNotAllowed)
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			spec, err := silkroad.ParseSpec(body)
+			if err == nil {
+				_, err = sw.Apply(sw.Now(), spec)
+			}
+			if err != nil {
+				var verr *silkroad.SpecValidationError
+				if errors.As(err, &verr) {
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(http.StatusUnprocessableEntity)
+					_ = json.NewEncoder(w).Encode(verr)
+					return
+				}
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			src.set("api", "")
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(struct {
+				Generation uint64               `json:"generation"`
+				Statuses   []silkroad.VIPStatus `json:"statuses"`
+			}{sw.SpecGeneration(), sw.VIPStatuses()})
+		})
+		// Read-only view of the applied configuration.
+		mux.HandleFunc("/configz", func(w http.ResponseWriter, _ *http.Request) {
+			source, lastErr := src.get()
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Source     string                `json:"source"`
+				LastError  string                `json:"last_error,omitempty"`
+				Generation uint64                `json:"generation"`
+				Converged  bool                  `json:"converged"`
+				Statuses   []silkroad.VIPStatus  `json:"statuses"`
+				Spec       *silkroad.ClusterSpec `json:"spec,omitempty"`
+			}{source, lastErr, sw.SpecGeneration(), sw.Converged(),
+				sw.VIPStatuses(), sw.AppliedSpec()})
 		})
 		if *debug {
 			mux.Handle("/debug/silkroad/", sw.DebugHandler())
@@ -233,6 +373,7 @@ func main() {
 	// catch-up pass, drain the metrics server, then report.
 	log.Printf("silkroadd: shutting down")
 	stopStats()
+	stopConfig()
 	if err := <-runDone; err != nil {
 		log.Printf("silkroadd: runtime: %v", err)
 	}

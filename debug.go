@@ -24,6 +24,8 @@ import (
 //	vips            every VIP with its versions and pools, per pipe
 //	pending         the learning filter's pending set, per pipe
 //	sram            per-stage ConnTable occupancy and SRAM breakdown, per pipe
+//	intent          declarative desired state: generation, per-VIP status
+//	                conditions, and the last applied spec
 //
 // Flow syntax is the FiveTuple rendering, "src:port->dst:port/proto"
 // (e.g. "192.168.0.1:1234->10.0.0.1:80/tcp"); a "tcp:"/"udp:" prefix is
@@ -41,6 +43,7 @@ func (s *Switch) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/silkroad/vips", s.handleVIPs)
 	mux.HandleFunc("/debug/silkroad/pending", s.handlePending)
 	mux.HandleFunc("/debug/silkroad/sram", s.handleSRAM)
+	mux.HandleFunc("/debug/silkroad/intent", s.handleIntent)
 	return mux
 }
 
@@ -251,6 +254,15 @@ func (s *Switch) handlePending(w http.ResponseWriter, req *http.Request) {
 		})
 	}
 	writeJSON(w, out)
+}
+
+func (s *Switch) handleIntent(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, struct {
+		Generation uint64       `json:"generation"`
+		Converged  bool         `json:"converged"`
+		Statuses   []VIPStatus  `json:"statuses"`
+		Spec       *ClusterSpec `json:"spec,omitempty"`
+	}{s.SpecGeneration(), s.Converged(), s.VIPStatuses(), s.AppliedSpec()})
 }
 
 func (s *Switch) handleSRAM(w http.ResponseWriter, req *http.Request) {

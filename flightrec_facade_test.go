@@ -258,6 +258,10 @@ func checkJournalShape(t *testing.T, j []JournalRecord) {
 			if r.Step != "" || r.Op != "" || r.Batch <= 0 {
 				t.Fatalf("torn learn_flush record: %+v", r)
 			}
+		case "reconcile":
+			if r.Step == "" || r.KeyHash != 0 || r.Batch != 0 {
+				t.Fatalf("torn reconcile record: %+v", r)
+			}
 		default:
 			t.Fatalf("unknown journal kind: %+v", r)
 		}

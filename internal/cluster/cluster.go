@@ -245,6 +245,26 @@ func (c *Cluster) ReannounceTo(now simtime.Time, i int, vips map[dataplane.VIP][
 	return nil
 }
 
+// Dataplane exposes switch i's data plane (fault injection, shadow
+// inspection). After RestoreSwitch the returned pointer is the fresh
+// instance; callers must not cache it across restores.
+func (c *Cluster) Dataplane(i int) *dataplane.Switch { return c.members[i].sw }
+
+// ShadowVersion reads a connection's pinned pool version through the
+// exact-tuple CPU shadow of the switch its tuple currently sprays to —
+// the PCC ground truth (digest aliasing cannot touch it). Returns the
+// member index even when the entry is absent, so callers can tell
+// redirection from expiry.
+func (c *Cluster) ShadowVersion(t netproto.FiveTuple) (member int, version uint32, ok bool) {
+	i := c.sprayIndex(t)
+	m := c.members[i]
+	if !m.alive {
+		return i, 0, false
+	}
+	v, ok := m.sw.LookupConn(t)
+	return i, v, ok
+}
+
 // TotalConns sums tracked connections across healthy switches.
 func (c *Cluster) TotalConns() int {
 	n := 0

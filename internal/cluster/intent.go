@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"errors"
+
+	"repro/internal/dataplane"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+)
+
+// ErrSwitchDown is returned by reconcile writes against an out-of-service
+// member: the reconciler treats it like any transient apply failure and
+// retries with backoff until the switch is restored (or the rollout rolls
+// back).
+var ErrSwitchDown = errors.New("cluster: switch out of service")
+
+// memberTarget adapts one member as an intent.Target. It holds the
+// *member, not its planes: RestoreSwitch replaces sw/cp with fresh ones,
+// and the adapter must follow so post-restore reconciles (and the drift
+// scans that re-install lost VIPs) hit the new instance.
+type memberTarget struct{ m *member }
+
+func (t memberTarget) ObservedVIPs() []dataplane.VIP {
+	if !t.m.alive {
+		return nil
+	}
+	return t.m.sw.VIPs()
+}
+
+func (t memberTarget) ObservedPool(vip dataplane.VIP) ([]dataplane.DIP, bool) {
+	if !t.m.alive {
+		return nil, false
+	}
+	pool, err := t.m.cp.TargetPool(vip)
+	return pool, err == nil
+}
+
+func (t memberTarget) AddVIP(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP, meterBytesPerSec float64) error {
+	if !t.m.alive {
+		return ErrSwitchDown
+	}
+	return t.m.cp.AddVIP(now, vip, pool, meterBytesPerSec)
+}
+
+func (t memberTarget) RemoveVIP(now simtime.Time, vip dataplane.VIP) error {
+	if !t.m.alive {
+		return ErrSwitchDown
+	}
+	return t.m.cp.RemoveVIP(now, vip)
+}
+
+func (t memberTarget) UpdatePool(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP) error {
+	if !t.m.alive {
+		return ErrSwitchDown
+	}
+	return t.m.cp.RequestUpdate(now, vip, pool)
+}
+
+func (t memberTarget) PendingWork() int {
+	if !t.m.alive {
+		return 0
+	}
+	return t.m.cp.PendingWork()
+}
+
+// Target adapts member i as an intent.Target (fleet reconciliation).
+func (c *Cluster) Target(i int) intent.Target { return memberTarget{c.members[i]} }
+
+// clusterFleet adapts the deployment as an intent.Fleet.
+type clusterFleet struct{ c *Cluster }
+
+func (f clusterFleet) Members() int               { return len(f.c.members) }
+func (f clusterFleet) Target(i int) intent.Target { return f.c.Target(i) }
+
+// Fleet exposes the deployment to an intent.ClusterReconciler: rolling
+// spec-driven updates replace the hand-rolled AddVIP/Update loops above.
+func (c *Cluster) Fleet() intent.Fleet { return clusterFleet{c} }

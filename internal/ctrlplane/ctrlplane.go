@@ -319,6 +319,32 @@ func (cp *ControlPlane) StallCPU(now simtime.Time, d simtime.Duration) {
 // QueueDepth returns the current CPU insertion queue length.
 func (cp *ControlPlane) QueueDepth() int { return len(cp.queue) }
 
+// ActiveUpdates returns the number of VIPs with a 3-step pool update in
+// flight.
+func (cp *ControlPlane) ActiveUpdates() int { return cp.activeUpdates }
+
+// QueuedUpdates returns the number of update requests waiting behind
+// in-flight updates across every VIP.
+func (cp *ControlPlane) QueuedUpdates() int {
+	n := 0
+	for _, vc := range cp.vips {
+		n += len(vc.queued)
+	}
+	return n
+}
+
+// PendingWork sums everything the switch still has to absorb before it is
+// safe to move a rolling update to the next switch: undrained learn
+// events, queued CPU insertions, and in-flight or queued pool updates.
+// Zero means the switch is drained in the §4.2 pending-insert sense.
+func (cp *ControlPlane) PendingWork() int {
+	n := len(cp.queue) + cp.activeUpdates + cp.QueuedUpdates()
+	if lf := cp.sw.LearnFilter(); lf != nil {
+		n += lf.Len()
+	}
+	return n
+}
+
 // AddVIP announces a VIP with its initial DIP pool. meterBytesPerSec > 0
 // attaches a hardware meter (0 disables metering for this VIP).
 func (cp *ControlPlane) AddVIP(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP, meterBytesPerSec float64) error {

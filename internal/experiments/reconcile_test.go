@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestReconcileSoak is the reconcile soak as a regression gate (CI runs it
+// under -race): a fixed seed, every controller invariant — convergence,
+// zero PCC violations, rollback + retry + drift exercised, idempotent
+// re-apply — and byte-identical reports across two runs.
+func TestReconcileSoak(t *testing.T) {
+	const scale, seed = 1.0, 42
+
+	r1, err := RunReconcileSoak(scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r1.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if !r1.InvariantsOK {
+		t.Fatalf("report: %+v", r1)
+	}
+
+	// Sanity beyond the report's own checks: the soak exercised what it
+	// claims to.
+	if r1.FlowsEstablished < r1.FlowsStarted/4 {
+		t.Errorf("established only %d of %d flows", r1.FlowsEstablished, r1.FlowsStarted)
+	}
+	if r1.FaultsInjected == 0 {
+		t.Error("no faults injected")
+	}
+	if r1.Applies == 0 {
+		t.Error("no reconcile applies recorded")
+	}
+
+	r2, err := RunReconcileSoak(scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed, different reports:\n%s\n%s", b1, b2)
+	}
+
+	// A different seed must yield a different run — the soak is seeded,
+	// not hard-coded.
+	r3, err := RunReconcileSoak(scale, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := json.Marshal(r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, b3) {
+		t.Error("seed change did not change the report")
+	}
+}

@@ -49,6 +49,9 @@ const (
 	KindDegraded = "degraded"
 	// KindFault: the fault-injection layer applied a fault.
 	KindFault = "fault"
+	// KindReconcile: the desired-state reconciler (internal/intent) took a
+	// step: a round, an apply/noop, a retry, a rollback or a drift hit.
+	KindReconcile = "reconcile"
 )
 
 // PacketRecord is one INT-style trace record: the pipeline decisions one
@@ -123,6 +126,13 @@ type JournalRecord struct {
 	Duration simtime.Duration `json:"duration_ns,omitempty"`
 	Scale    float64          `json:"scale,omitempty"`
 	Limit    int              `json:"limit,omitempty"`
+
+	// Reconciler steps (KindReconcile): Step is the reconcile step name,
+	// Op the write kind (add/update/remove), Pipe the fleet member index;
+	// Duration carries the apply latency and Error any failure.
+	Generation uint64 `json:"generation,omitempty"`
+	Retries    int    `json:"retries,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // slot is one ring cell. seq is the claimed sequence number plus one, so
@@ -516,6 +526,34 @@ func (r *Recorder) OnFault(e telemetry.FaultEvent) {
 	}, stampJournal)
 	if r.inner != nil {
 		r.inner.OnFault(e)
+	}
+}
+
+// OnReconcile journals the reconciler step with its key, generation and
+// outcome, then forwards. Round events are not journaled (one per round
+// would crowd out the interesting records); the metrics registry counts
+// them.
+func (r *Recorder) OnReconcile(e telemetry.ReconcileEvent) {
+	if e.Step != telemetry.ReconcileRound {
+		rec := JournalRecord{
+			Now:        e.Now,
+			Pipe:       e.Member,
+			Kind:       KindReconcile,
+			Step:       e.Step.String(),
+			Op:         e.Op,
+			Generation: e.Generation,
+			Retries:    e.Retries,
+			Duration:   e.Latency,
+			Error:      e.Err,
+			OK:         e.Err == "",
+		}
+		if e.VIP != (telemetry.VIPKey{}) {
+			rec.VIP = e.VIP.String()
+		}
+		r.journal.put(rec, stampJournal)
+	}
+	if r.inner != nil {
+		r.inner.OnReconcile(e)
 	}
 }
 

@@ -1,0 +1,348 @@
+package intent
+
+import (
+	"fmt"
+
+	"repro/internal/dataplane"
+	"repro/internal/netwide"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// Fleet is a set of reconcile targets, one per switch.
+type Fleet interface {
+	Members() int
+	Target(i int) Target
+}
+
+// FleetConfig parameterizes a ClusterReconciler.
+type FleetConfig struct {
+	// Config is the per-member reconciler configuration (Member is set
+	// per member automatically).
+	Config
+	// Topology, when non-nil, gates SetSpec on netwide placement
+	// admission: a spec whose declared VIP demands don't fit any layer
+	// assignment is rejected before any switch is touched.
+	Topology *netwide.Topology
+	// RolloutBackoff is the delay before re-attempting a rollout after a
+	// rollback (default 10ms virtual, doubling per attempt up to
+	// MaxBackoff).
+	RolloutBackoff simtime.Duration
+}
+
+// rolloutPhase is the fleet state machine.
+type rolloutPhase int
+
+const (
+	phaseIdle    rolloutPhase = iota // converged at cur
+	phaseRolling                     // advancing frontier through members
+	phaseBackoff                     // rolled back, waiting to retry
+)
+
+// ClusterReconciler rolls a Desired state across a fleet one switch at a
+// time: member i receives the new generation only after members 0..i-1
+// have applied it AND drained their pending work (PendingWork() == 0 —
+// the §4.2 pending-insert discipline lifted fleet-wide, so at most one
+// switch is absorbing a pool change at any moment). When a member fails
+// mid-rollout (retry budget exhausted), every already-updated member is
+// rolled back to the previous generation and the rollout retries after a
+// backoff.
+type ClusterReconciler struct {
+	cfg   FleetConfig
+	fleet Fleet
+	recs  []*Reconciler
+
+	prev Desired // last fleet-wide converged state (rollback point)
+	cur  Desired // state being rolled out
+
+	phase    rolloutPhase
+	frontier int          // next member to bring to cur
+	retryAt  simtime.Time // phaseBackoff: when to retry the rollout
+	attempt  int          // rollout attempts for cur
+	lastGen  uint64
+}
+
+// NewCluster builds a ClusterReconciler over fleet.
+func NewCluster(fleet Fleet, cfg FleetConfig) *ClusterReconciler {
+	if cfg.RolloutBackoff <= 0 {
+		cfg.RolloutBackoff = 10 * simtime.Millisecond
+	}
+	cfg.Config = cfg.Config.withDefaults()
+	c := &ClusterReconciler{cfg: cfg, fleet: fleet}
+	for i := 0; i < fleet.Members(); i++ {
+		mc := cfg.Config
+		mc.Member = i
+		c.recs = append(c.recs, New(fleet.Target(i), mc))
+	}
+	return c
+}
+
+// SetSpec validates, admission-checks and stages a new spec for rollout.
+// The returned error is a *ValidationError for schema problems or a
+// placement error when the declared demands don't fit the topology.
+func (c *ClusterReconciler) SetSpec(now simtime.Time, spec *ClusterSpec) error {
+	d, err := spec.Normalize(c.lastGen)
+	if err != nil {
+		return err
+	}
+	if c.cfg.Topology != nil {
+		if err := checkPlacement(*c.cfg.Topology, spec); err != nil {
+			return err
+		}
+	}
+	if d.Generation == c.lastGen {
+		// Same generation: accept only if content is identical (an
+		// idempotent re-apply); otherwise the operator forgot to bump.
+		if !SameDesired(d, c.cur) {
+			return &ValidationError{Errors: []FieldError{{
+				Field: "generation",
+				Msg:   fmt.Sprintf("generation %d already applied with different content", d.Generation),
+			}}}
+		}
+		return nil
+	}
+	c.prev = c.cur
+	if c.prev.VIPs == nil {
+		c.prev = Desired{VIPs: map[dataplane.VIP]VIPDesired{}}
+	}
+	c.cur = d
+	c.lastGen = d.Generation
+	c.phase = phaseRolling
+	c.frontier = 0
+	c.attempt = 0
+	return nil
+}
+
+// checkPlacement runs netwide admission over the spec's declared demands.
+func checkPlacement(topo netwide.Topology, spec *ClusterSpec) error {
+	var demands []netwide.VIPDemand
+	for _, vs := range spec.VIPs {
+		if vs.SRAMBytes > 0 || vs.TrafficBps > 0 {
+			demands = append(demands, netwide.VIPDemand{
+				Name: vs.VIP, SRAMBytes: vs.SRAMBytes, TrafficBps: vs.TrafficBps,
+			})
+		}
+	}
+	if len(demands) == 0 {
+		return nil
+	}
+	if _, err := netwide.Assign(topo, demands); err != nil {
+		return fmt.Errorf("intent: placement admission failed: %w", err)
+	}
+	return nil
+}
+
+// SameDesired reports whether two desired states declare the same VIPs
+// with the same pools and meters (generation excluded).
+func SameDesired(a, b Desired) bool {
+	if len(a.VIPs) != len(b.VIPs) {
+		return false
+	}
+	for k, av := range a.VIPs {
+		bv, ok := b.VIPs[k]
+		if !ok || av.MeterBytesPerSec != bv.MeterBytesPerSec || !SamePool(av.Pool, bv.Pool) {
+			return false
+		}
+	}
+	return true
+}
+
+// Step runs one fleet reconcile round at now. Returns true when the fleet
+// is converged at the staged generation.
+func (c *ClusterReconciler) Step(now simtime.Time) bool {
+	switch c.phase {
+	case phaseIdle:
+		return true
+
+	case phaseBackoff:
+		if now.Before(c.retryAt) {
+			return false
+		}
+		c.phase = phaseRolling
+		c.frontier = 0
+
+	case phaseRolling:
+	}
+
+	// Rolling: work the frontier member; previously-updated members only
+	// run retries/drift they already have queued.
+	for i := 0; i < c.frontier; i++ {
+		if c.recs[i].QueueLen() > 0 {
+			c.recs[i].Reconcile(now)
+		}
+	}
+	if c.frontier >= len(c.recs) {
+		c.phase = phaseIdle
+		c.prev = c.cur
+		return true
+	}
+
+	// The drain gate: the previous member must have applied its writes
+	// AND drained its pending inserts before the next switch moves.
+	if c.frontier > 0 {
+		prev := c.frontier - 1
+		if !c.recs[prev].Converged() || c.fleet.Target(prev).PendingWork() > 0 {
+			return false
+		}
+	}
+
+	rec := c.recs[c.frontier]
+	if rec.Generation() != c.cur.Generation {
+		rec.SetDesired(now, c.cur)
+	}
+	rec.Reconcile(now)
+
+	if c.memberFailed(rec) {
+		c.rollback(now)
+		return false
+	}
+	if rec.Converged() {
+		c.frontier++
+		if c.frontier == len(c.recs) {
+			c.phase = phaseIdle
+			c.prev = c.cur
+			return true
+		}
+	}
+	return false
+}
+
+// memberFailed reports whether the member's retry budget ran out on any
+// key at the current generation.
+func (c *ClusterReconciler) memberFailed(rec *Reconciler) bool {
+	for _, st := range rec.Statuses() {
+		if st.Condition == CondError {
+			return true
+		}
+	}
+	return false
+}
+
+// rollback returns every member at or before the frontier to the previous
+// generation and schedules a rollout retry with doubling backoff.
+func (c *ClusterReconciler) rollback(now simtime.Time) {
+	for i := c.frontier; i >= 0; i-- {
+		rec := c.recs[i]
+		c.cfg.Tracer.OnReconcile(telemetry.ReconcileEvent{
+			Now: now, Member: i, Step: telemetry.ReconcileRollback,
+			Generation: c.cur.Generation,
+		})
+		rec.SetDesired(now, c.prev)
+		rec.Reconcile(now)
+	}
+	c.attempt++
+	backoff := c.cfg.RolloutBackoff
+	for i := 1; i < c.attempt && backoff < c.cfg.MaxBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > c.cfg.MaxBackoff {
+		backoff = c.cfg.MaxBackoff
+	}
+	c.retryAt = now.Add(backoff)
+	c.phase = phaseBackoff
+}
+
+// Converged reports whether every member is converged at the staged
+// generation.
+func (c *ClusterReconciler) Converged() bool {
+	if c.phase != phaseIdle {
+		return false
+	}
+	for _, rec := range c.recs {
+		if !rec.Converged() {
+			return false
+		}
+	}
+	return true
+}
+
+// Generation returns the staged (latest accepted) generation.
+func (c *ClusterReconciler) Generation() uint64 { return c.lastGen }
+
+// Member returns member i's reconciler (tests and debug surfaces).
+func (c *ClusterReconciler) Member(i int) *Reconciler { return c.recs[i] }
+
+// DetectDrift runs drift scans across the fleet when idle; any hit
+// re-enters the rolling phase so drifted members reconverge under the
+// same one-at-a-time discipline. Returns total drifted keys.
+func (c *ClusterReconciler) DetectDrift(now simtime.Time) int {
+	if c.phase != phaseIdle {
+		return 0
+	}
+	total := 0
+	for _, rec := range c.recs {
+		total += rec.DetectDrift(now)
+	}
+	if total > 0 {
+		c.phase = phaseRolling
+		c.frontier = 0
+	}
+	return total
+}
+
+// NextDue returns the earliest time fleet work becomes ready: member
+// retries or the rollout backoff deadline.
+func (c *ClusterReconciler) NextDue() (simtime.Time, bool) {
+	var best simtime.Time
+	found := false
+	consider := func(t simtime.Time) {
+		if !found || t.Before(best) {
+			best = t
+			found = true
+		}
+	}
+	if c.phase == phaseBackoff {
+		consider(c.retryAt)
+	}
+	for _, rec := range c.recs {
+		if t, ok := rec.NextDue(); ok {
+			consider(t)
+		}
+	}
+	return best, found
+}
+
+// Statuses aggregates per-VIP status across members: the worst condition
+// wins (Error > Degraded > Applied) and the observed generation is the
+// minimum across members — a VIP is only "at" a generation once the whole
+// fleet is.
+func (c *ClusterReconciler) Statuses() []VIPStatus {
+	agg := make(map[string]*VIPStatus)
+	for _, rec := range c.recs {
+		for _, st := range rec.Statuses() {
+			cur, ok := agg[st.VIP]
+			if !ok {
+				cp := st
+				agg[st.VIP] = &cp
+				continue
+			}
+			if condRank(st.Condition) > condRank(cur.Condition) {
+				cur.Condition = st.Condition
+				cur.Reason = st.Reason
+				cur.Message = st.Message
+				cur.Retries = st.Retries
+				cur.LastTransition = st.LastTransition
+			}
+			if st.ObservedGeneration < cur.ObservedGeneration {
+				cur.ObservedGeneration = st.ObservedGeneration
+			}
+		}
+	}
+	out := make([]VIPStatus, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sortStatuses(out)
+	return out
+}
+
+func condRank(c Condition) int {
+	switch c {
+	case CondError:
+		return 2
+	case CondDegraded:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -453,6 +453,19 @@ func (e *Engine) CurrentPool(vip dataplane.VIP) ([]dataplane.DIP, error) {
 	return p.cp.CurrentPool(vip)
 }
 
+// PendingWork sums every pipe's control-plane pending work (undrained
+// learn events, queued inserts, in-flight and queued pool updates). Zero
+// means the whole chip is drained — the rolling-update gate.
+func (e *Engine) PendingWork() int {
+	n := 0
+	for _, p := range e.pipes {
+		p.mu.Lock()
+		n += p.cp.PendingWork()
+		p.mu.Unlock()
+	}
+	return n
+}
+
 // EndConnection tells the owning pipe that a connection terminated.
 func (e *Engine) EndConnection(now simtime.Time, t netproto.FiveTuple) {
 	p := e.pipes[e.PipeOf(t)]

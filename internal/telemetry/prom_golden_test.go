@@ -37,6 +37,12 @@ func goldenSnapshot() Snapshot {
 		OK: true, Len: 5, Capacity: 100})
 	r.OnCuckoo(CuckooEvent{Now: 8e9, Pipe: 0, Op: CuckooInsert, Moves: 40,
 		OK: false, Len: 5, Capacity: 100})
+	r.OnReconcile(ReconcileEvent{Now: 8e9, Step: ReconcileRound, Generation: 2})
+	r.OnReconcile(ReconcileEvent{Now: 8e9, Step: ReconcileApply, Op: "update",
+		Generation: 2, Latency: 2e6})
+	r.OnReconcile(ReconcileEvent{Now: 8e9, Step: ReconcileRetry, Generation: 2,
+		Retries: 1, Err: "table full"})
+	r.OnReconcile(ReconcileEvent{Now: 9e9, Step: ReconcileDrift, Generation: 2})
 	return r.Snapshot(9e9)
 }
 

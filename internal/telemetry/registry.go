@@ -82,6 +82,28 @@ const (
 	MetricDegradedPipes = "silkroad_degraded_pipes"
 	// MetricFaultsInjected counts faults applied by the injection layer.
 	MetricFaultsInjected = "silkroad_faults_injected_total"
+	// MetricReconcileRounds counts reconcile rounds run by the
+	// desired-state controller (internal/intent).
+	MetricReconcileRounds = "silkroad_reconcile_rounds_total"
+	// MetricReconcileApplies counts writes (add/update/remove) the
+	// reconciler issued against targets.
+	MetricReconcileApplies = "silkroad_reconcile_applies_total"
+	// MetricReconcileNoops counts keys found already converged (zero
+	// writes issued).
+	MetricReconcileNoops = "silkroad_reconcile_noops_total"
+	// MetricReconcileRetries counts failed applies requeued with backoff.
+	MetricReconcileRetries = "silkroad_reconcile_retries_total"
+	// MetricReconcileRollbacks counts targets rolled back to the prior
+	// desired state after a partial fleet failure.
+	MetricReconcileRollbacks = "silkroad_reconcile_rollbacks_total"
+	// MetricReconcileErrors counts keys entering the Error condition.
+	MetricReconcileErrors = "silkroad_reconcile_errors_total"
+	// MetricReconcileDrift counts observed-vs-desired divergences found by
+	// drift scans.
+	MetricReconcileDrift = "silkroad_reconcile_drift_detected_total"
+	// MetricReconcileApplyLatency is desired-set to applied latency in
+	// virtual seconds, per successfully applied key.
+	MetricReconcileApplyLatency = "silkroad_reconcile_apply_latency_seconds"
 )
 
 // Default histogram bounds. Virtual-time histograms span 10 µs to 1 s,
@@ -145,6 +167,11 @@ type Registry struct {
 	pendingWindow, learnBatch           *Histogram
 	updRecord, updTransition, updTotal  *Histogram
 	kickChain                           *Histogram
+	reconcileRounds, reconcileApplies   *Counter
+	reconcileNoops, reconcileRetries    *Counter
+	reconcileRollbacks, reconcileErrors *Counter
+	reconcileDrift                      *Counter
+	reconcileApplyLatency               *Histogram
 }
 
 // NewRegistry creates a registry with every built-in instrument
@@ -186,6 +213,14 @@ func NewRegistry() *Registry {
 	r.degradedTransitions = r.Counter(MetricDegradedTransitions)
 	r.faultsInjected = r.Counter(MetricFaultsInjected)
 	r.degradedPipes = r.Gauge(MetricDegradedPipes)
+	r.reconcileRounds = r.Counter(MetricReconcileRounds)
+	r.reconcileApplies = r.Counter(MetricReconcileApplies)
+	r.reconcileNoops = r.Counter(MetricReconcileNoops)
+	r.reconcileRetries = r.Counter(MetricReconcileRetries)
+	r.reconcileRollbacks = r.Counter(MetricReconcileRollbacks)
+	r.reconcileErrors = r.Counter(MetricReconcileErrors)
+	r.reconcileDrift = r.Counter(MetricReconcileDrift)
+	r.reconcileApplyLatency = r.Histogram(MetricReconcileApplyLatency, durationBounds)
 	return r
 }
 
@@ -379,6 +414,28 @@ func (r *Registry) OnDegraded(e DegradedEvent) {
 // OnFault implements Tracer.
 func (r *Registry) OnFault(FaultEvent) {
 	r.faultsInjected.Inc()
+}
+
+// OnReconcile implements Tracer: folds reconciler steps into the
+// reconcile counters and the apply-latency histogram.
+func (r *Registry) OnReconcile(e ReconcileEvent) {
+	switch e.Step {
+	case ReconcileRound:
+		r.reconcileRounds.Inc()
+	case ReconcileApply:
+		r.reconcileApplies.Inc()
+		r.reconcileApplyLatency.Observe(e.Latency.Seconds())
+	case ReconcileNoop:
+		r.reconcileNoops.Inc()
+	case ReconcileRetry:
+		r.reconcileRetries.Inc()
+	case ReconcileRollback:
+		r.reconcileRollbacks.Inc()
+	case ReconcileError:
+		r.reconcileErrors.Inc()
+	case ReconcileDrift:
+		r.reconcileDrift.Inc()
+	}
 }
 
 // OnMeterDrop implements Tracer.

@@ -392,6 +392,61 @@ type FaultEvent struct {
 	Limit    int
 }
 
+// ReconcileStep identifies one event from the desired-state reconciler
+// (internal/intent).
+type ReconcileStep uint8
+
+const (
+	// ReconcileRound marks one reconcile round over the due work.
+	ReconcileRound ReconcileStep = iota
+	// ReconcileApply marks one write (add/update/remove) applied to a target.
+	ReconcileApply
+	// ReconcileNoop marks a key whose observed state already matched the
+	// desired state (zero writes).
+	ReconcileNoop
+	// ReconcileRetry marks a failed apply requeued with backoff.
+	ReconcileRetry
+	// ReconcileRollback marks a previously-applied target rolled back to
+	// the prior desired state after a partial fleet failure.
+	ReconcileRollback
+	// ReconcileError marks a key entering the Error condition (retry
+	// budget exhausted).
+	ReconcileError
+	// ReconcileDrift marks observed state diverging from desired state
+	// outside an apply (detected by a drift scan).
+	ReconcileDrift
+)
+
+var reconcileStepNames = [...]string{"round", "apply", "noop", "retry", "rollback", "error", "drift"}
+
+func (s ReconcileStep) String() string {
+	if int(s) < len(reconcileStepNames) {
+		return reconcileStepNames[s]
+	}
+	return "unknown"
+}
+
+// ReconcileEvent reports one desired-state reconciler step.
+type ReconcileEvent struct {
+	Now simtime.Time
+	// Member is the fleet member index the event applies to (0 for a
+	// standalone switch; -1 for fleet-level events).
+	Member int
+	Step   ReconcileStep
+	// VIP is the key being reconciled; zero for Round events.
+	VIP VIPKey
+	// Op labels the write for Apply steps: "add", "update" or "remove".
+	Op string
+	// Generation is the desired-state generation driving the event.
+	Generation uint64
+	// Retries is the key's retry count so far (Retry/Error steps).
+	Retries int
+	// Latency is desired-set to applied for Apply steps; zero otherwise.
+	Latency simtime.Duration
+	// Err carries the failure for Retry/Error steps.
+	Err string
+}
+
 // Tracer receives events from the traced components. Implementations must
 // be safe for concurrent use from multiple pipes. The Registry in this
 // package is the default implementation; custom tracers can embed
@@ -417,6 +472,8 @@ type Tracer interface {
 	OnDegraded(e DegradedEvent)
 	// OnFault reports injected faults from the fault-injection layer.
 	OnFault(e FaultEvent)
+	// OnReconcile reports desired-state reconciler steps (internal/intent).
+	OnReconcile(e ReconcileEvent)
 }
 
 // NopTracer is a Tracer that ignores everything; embed it to implement
@@ -449,3 +506,6 @@ func (NopTracer) OnDegraded(DegradedEvent) {}
 
 // OnFault implements Tracer.
 func (NopTracer) OnFault(FaultEvent) {}
+
+// OnReconcile implements Tracer.
+func (NopTracer) OnReconcile(ReconcileEvent) {}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/flightrec"
 	"repro/internal/health"
+	"repro/internal/intent"
 	"repro/internal/netproto"
 	"repro/internal/pipes"
 	"repro/internal/simtime"
@@ -285,6 +286,11 @@ type Switch struct {
 	tel *Telemetry      // nil when no registry is attached
 	rec *FlightRecorder // nil when no flight recorder is attached
 	inj *FaultInjector  // nil when no fault plan is attached
+
+	// intent is the declarative desired-state store and its reconciler
+	// (see intent.go): Apply converges whole specs, and the imperative
+	// methods edit single keys of the same desired state.
+	intent *intentState
 }
 
 // tracerFor composes the configured observability sinks into the single
@@ -323,6 +329,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		}
 		s := &Switch{multi: eng, tel: cfg.Telemetry, rec: cfg.FlightRecorder}
 		s.rt = newRuntime(cfg.Clock, s)
+		s.attachIntent(tracer)
 		s.attachFaults(cfg, tracer)
 		return s, nil
 	}
@@ -341,8 +348,21 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		rec: cfg.FlightRecorder,
 	}
 	s.rt = newRuntime(cfg.Clock, s)
+	s.attachIntent(tracer)
 	s.attachFaults(cfg, tracer)
 	return s, nil
+}
+
+// attachIntent builds the desired-state reconciler over the switch's raw
+// routing layer and registers its retry work with the runtime, so backoff
+// deadlines fire in time order under both Run and AdvanceTo.
+func (s *Switch) attachIntent(tracer telemetry.Tracer) {
+	s.intent = &intentState{
+		rec: intent.New(intentTarget{s}, intent.Config{Tracer: tracer}),
+	}
+	s.rt.mu.Lock()
+	s.rt.sched.AddSource(intentSource{s})
+	s.rt.mu.Unlock()
 }
 
 // attachFaults builds the injector for Config.Faults (if any) and
@@ -522,17 +542,19 @@ func WithMeter(bytesPerSec float64) VIPOption {
 
 // AddVIP announces a VIP with an initial DIP pool. Options configure
 // per-VIP hardware features, e.g. WithMeter for rate isolation.
+//
+// Like every imperative method, AddVIP is a single-key edit of the
+// switch's desired state applied through the reconcile engine — the same
+// path Switch.Apply drives for whole specs.
 func (s *Switch) AddVIP(now Time, vip VIP, pool []DIP, opts ...VIPOption) error {
 	var o vipOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if s.multi != nil {
-		return s.multi.AddVIP(now, vip, pool, o.meterBytesPerSec)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cp.AddVIP(now, vip, pool, o.meterBytesPerSec)
+	st := s.intent
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rec.EditAdd(now, vip, pool, o.meterBytesPerSec)
 }
 
 // AddVIPMetered announces a VIP with a committed-rate meter.
@@ -544,46 +566,59 @@ func (s *Switch) AddVIPMetered(now Time, vip VIP, pool []DIP, meterBytesPerSec f
 
 // RemoveVIP withdraws a VIP.
 func (s *Switch) RemoveVIP(now Time, vip VIP) error {
-	if s.multi != nil {
-		return s.multi.RemoveVIP(now, vip)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cp.RemoveVIP(now, vip)
+	st := s.intent
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rec.EditRemove(now, vip)
 }
 
 // AddDIP adds a backend to vip's pool with full per-connection
 // consistency (the 3-step update of §4.3 runs under the hood).
 func (s *Switch) AddDIP(now Time, vip VIP, dip DIP) error {
 	defer s.poke()
-	if s.multi != nil {
-		return s.multi.AddDIP(now, vip, dip)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cp.AddDIP(now, vip, dip)
+	st := s.intent
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rec.EditPool(now, vip, func(pool []DIP) ([]DIP, error) {
+		return append(pool, dip), nil
+	})
 }
 
 // RemoveDIP removes a backend from vip's pool with PCC.
 func (s *Switch) RemoveDIP(now Time, vip VIP, dip DIP) error {
 	defer s.poke()
-	if s.multi != nil {
-		return s.multi.RemoveDIP(now, vip, dip)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cp.RemoveDIP(now, vip, dip)
+	st := s.intent
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rec.EditPool(now, vip, func(pool []DIP) ([]DIP, error) {
+		out := pool[:0]
+		found := false
+		for _, d := range pool {
+			if !found && d == dip {
+				found = true
+				continue
+			}
+			out = append(out, d)
+		}
+		if !found {
+			return nil, fmt.Errorf("silkroad: DIP %v not in pool of %v", dip, vip)
+		}
+		return out, nil
+	})
 }
 
-// UpdatePool replaces vip's pool wholesale with PCC.
+// UpdatePool replaces vip's pool wholesale with PCC. Updating to the pool
+// the switch is already at (or already heading for) is a no-op: the
+// reconcile engine diffs against the newest requested state and issues no
+// hardware write.
 func (s *Switch) UpdatePool(now Time, vip VIP, pool []DIP) error {
 	defer s.poke()
-	if s.multi != nil {
-		return s.multi.RequestUpdate(now, vip, pool)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cp.RequestUpdate(now, vip, pool)
+	st := s.intent
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rec.EditPool(now, vip, func([]DIP) ([]DIP, error) {
+		return append([]DIP(nil), pool...), nil
+	})
 }
 
 // CurrentPool returns the pool new connections map to.
