@@ -1,4 +1,4 @@
-package silkroad
+package silkroad_test
 
 // Benchmark targets, one per table and figure of the paper's evaluation
 // (see DESIGN.md's per-experiment index and EXPERIMENTS.md for measured
@@ -6,11 +6,17 @@ package silkroad
 // code path as cmd/silkroad-bench, at a reduced scale so `go test -bench`
 // completes in minutes. Plus microbenchmarks of the hot paths whose
 // line-rate feasibility the paper asserts.
+//
+// This file is an external test package (and dot-imports the facade) so
+// it can use internal/experiments: the experiments package imports the
+// root facade for its soaks, which an in-package test file would turn
+// into an import cycle.
 
 import (
 	"net/netip"
 	"testing"
 
+	. "repro"
 	"repro/internal/experiments"
 	"repro/internal/netproto"
 )

@@ -5,6 +5,11 @@
 //	silkroad-inspect -addr localhost:9090 trace 1.2.3.4:1234->20.0.0.1:80/tcp
 //	silkroad-inspect -addr localhost:9090 journal
 //	silkroad-inspect -addr localhost:9090 sram
+//	silkroad-inspect -addr localhost:9090 -watch 1s
+//
+// With -watch the tool becomes a top-style live view: every interval it
+// polls the daemon's /slo report (windowed SLIs, occupancy forecasts, the
+// alert board) and the /debug/silkroad/ SRAM heatmap, and redraws.
 //
 // Subcommands:
 //
@@ -52,6 +57,11 @@ commands:
   pending              show the learning filter's pending set
   sram                 per-stage occupancy and SRAM breakdown
 
+flags:
+  -watch <interval>    top-style live view of /slo + /debug/silkroad/
+                       (SLIs, occupancy forecasts, alert board); no command
+  -watch-count <n>     stop the live view after n frames (0 = forever)
+
 five-tuple syntax: "src:port->dst:port/tcp" (quote the ->)
 `)
 	os.Exit(2)
@@ -59,8 +69,18 @@ five-tuple syntax: "src:port->dst:port/tcp" (quote the ->)
 
 func main() {
 	addr := flag.String("addr", "localhost:9090", "silkroadd debug listener (its -metrics address)")
+	watch := flag.Duration("watch", 0, "top-style live view: poll /slo and /debug/silkroad/ every interval (e.g. -watch 1s)")
+	watchCount := flag.Int("watch-count", 0, "with -watch, stop after N frames (0 = until interrupted)")
 	flag.Usage = usage
 	flag.Parse()
+	if *watch > 0 {
+		clear := *watchCount == 0 // bounded runs are for scripts/tests: keep frames appendable
+		if err := runWatch(os.Stdout, "http://"+*addr, *watch, *watchCount, clear); err != nil {
+			fmt.Fprintf(os.Stderr, "silkroad-inspect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() < 1 {
 		usage()
 	}

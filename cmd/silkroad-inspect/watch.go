@@ -1,0 +1,147 @@
+// The -watch mode: a top-style live view of a running silkroadd, polling
+// the daemon's /slo report and /debug/silkroad/sram heatmap and rendering
+// windowed SLIs, per-pipe occupancy with time-to-exhaustion, and the alert
+// board on every interval.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	silkroad "repro"
+)
+
+// watchState carries what the previous poll saw, so the view can render
+// interval deltas alongside the windowed rates.
+type watchState struct {
+	haveLast  bool
+	lastEvals uint64
+	lastNow   int64
+}
+
+// sramPipe is the slice of /debug/silkroad/sram the watch view renders.
+type sramPipe struct {
+	Pipe         int     `json:"pipe"`
+	TotalBytes   int     `json:"total_bytes"`
+	OccupancyPct float64 `json:"occupancy_pct"`
+}
+
+// pollWatch fetches one round of state from the daemon. The SLO report is
+// mandatory (watch exists to render it); the SRAM view is best-effort —
+// silkroadd only serves /debug/silkroad/ with -debug.
+func pollWatch(base string) (*silkroad.SLOReport, []sramPipe, error) {
+	var rep silkroad.SLOReport
+	if err := getJSON(base+"/slo", &rep); err != nil {
+		return nil, nil, err
+	}
+	var sram []sramPipe
+	if err := getJSON(base+"/debug/silkroad/sram", &sram); err != nil {
+		sram = nil
+	}
+	return &rep, sram, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// renderWatch writes one full frame of the live view.
+func renderWatch(w io.Writer, rep *silkroad.SLOReport, sram []sramPipe, st *watchState, clear bool) {
+	if clear {
+		fmt.Fprint(w, "\033[H\033[2J")
+	}
+	dEvals := rep.Evals
+	if st.haveLast {
+		dEvals = rep.Evals - st.lastEvals
+	}
+	fmt.Fprintf(w, "silkroad slo  t=%-14s evals=%d (+%d)  degraded_total=%.1fs\n",
+		time.Duration(rep.Now).String(), rep.Evals, dEvals, rep.DegradedSeconds)
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %12s %10s %8s\n",
+		"window", "pps", "newflows/s", "pend p99", "insert prs", "digest fp", "pcc")
+	for _, row := range []struct {
+		name string
+		s    silkroad.SLOSignals
+	}{{"fast", rep.Fast}, {"slow", rep.Slow}} {
+		fmt.Fprintf(w, "%-6s %12.0f %12.0f %11.3fms %12.0f %10.4f %8.4f\n",
+			row.name, row.s.PPS, row.s.NewFlowRate, row.s.PendingP99*1e3,
+			row.s.InsertPressure, row.s.DigestFPRate, row.s.PCCRisk)
+	}
+
+	fmt.Fprintf(w, "\npipes (occupancy, fitted slope, time-to-exhaustion):\n")
+	for _, p := range rep.Pipes {
+		tte := "-"
+		if p.TTESeconds >= 0 {
+			tte = fmt.Sprintf("%.1fs", p.TTESeconds)
+		}
+		deg := ""
+		if p.Degraded {
+			deg = "  DEGRADED"
+		}
+		fmt.Fprintf(w, "  pipe%-2d %s %6.1f%%  %d/%d  slope=%+.0f/s  tte=%s%s\n",
+			p.Pipe, bar(p.FillFrac, 24), 100*p.FillFrac, p.Entries, p.Capacity,
+			p.SlopePerSec, tte, deg)
+	}
+	for _, sp := range sram {
+		fmt.Fprintf(w, "  pipe%-2d sram=%s (%.1f%% conntable)\n",
+			sp.Pipe, byteCount(sp.TotalBytes), sp.OccupancyPct)
+	}
+
+	if len(rep.VIPs) > 0 {
+		fmt.Fprintf(w, "\nvips:\n")
+		for _, v := range rep.VIPs {
+			fmt.Fprintf(w, "  %-24s pps=%-10.0f newflows/s=%-8.0f hit=%.3f\n",
+				v.VIP, v.PPS, v.NewFlowRate, v.ConnHitRate)
+		}
+	}
+
+	fmt.Fprintf(w, "\nalerts:\n")
+	alerts := append([]silkroad.AlertStatus(nil), rep.Alerts...)
+	sort.Slice(alerts, func(i, j int) bool { return alerts[i].Rule < alerts[j].Rule })
+	for _, a := range alerts {
+		marker := " "
+		switch a.State {
+		case "firing":
+			marker = "!"
+		case "pending":
+			marker = "?"
+		}
+		fmt.Fprintf(w, "  %s %-22s %-8s %-8s value=%-10.3f threshold=%.3f cursor=%d\n",
+			marker, a.Rule, a.Severity, a.State, a.Value, a.Threshold, a.Cursor)
+	}
+
+	st.haveLast = true
+	st.lastEvals = rep.Evals
+	st.lastNow = int64(rep.Now)
+}
+
+// runWatch polls and renders every interval. iterations bounds the loop
+// for tests; 0 means run until the process is interrupted. clear controls
+// the ANSI home+wipe between frames (off when not writing to a terminal).
+func runWatch(w io.Writer, base string, interval time.Duration, iterations int, clear bool) error {
+	var st watchState
+	for i := 0; iterations == 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		rep, sram, err := pollWatch(base)
+		if err != nil {
+			return err
+		}
+		renderWatch(w, rep, sram, &st, clear)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	silkroad "repro"
+)
+
+// TestWatchRendersFrames drives the live view against a fake daemon: two
+// frames, checking the SLI table, forecast rows, alert board and the
+// inter-poll eval delta all render.
+func TestWatchRendersFrames(t *testing.T) {
+	var polls atomic.Uint64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		n := polls.Add(1)
+		rep := silkroad.SLOReport{
+			Now:   silkroad.Time(int64(n) * 1e9),
+			Evals: 10 * n,
+			Fast:  silkroad.SLOSignals{Seconds: 1, PPS: 5000, NewFlowRate: 120, PendingP99: 0.0021},
+			Slow:  silkroad.SLOSignals{Seconds: 30, PPS: 4800, NewFlowRate: 110, PendingP99: 0.0018},
+			Pipes: []silkroad.SLOPipeForecast{
+				{Pipe: 0, Entries: 700, Capacity: 1000, FillFrac: 0.7, SlopePerSec: 25, TTESeconds: 12},
+				{Pipe: 1, Entries: 100, Capacity: 1000, FillFrac: 0.1, TTESeconds: -1},
+			},
+			Alerts: []silkroad.AlertStatus{
+				{Rule: "conntable-exhaustion", Severity: "page", State: "firing", Value: 2.5, Threshold: 1, Cursor: 42},
+				{Rule: "pending-p99", Severity: "ticket", State: "inactive", Threshold: 0.005},
+			},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("/debug/silkroad/sram", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode([]sramPipe{{Pipe: 0, TotalBytes: 4096, OccupancyPct: 70}})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := runWatch(&out, srv.URL, 0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"evals=10 (+10)",         // first frame: no previous poll, delta = total
+		"evals=20 (+10)",         // second frame: true inter-poll delta
+		"tte=12.0s",              // forecast with a predicted exhaustion
+		"tte=-",                  // flat pipe: no prediction
+		"! conntable-exhaustion", // firing page alert marked
+		"cursor=42",              // journal cursor linkage
+		"pipe0  sram=4.0KiB",     // debug SRAM row
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame output lacks %q\n---\n%s", want, got)
+		}
+	}
+}
+
+// TestWatchSurfacesSLOError: a daemon without the SLO evaluator answers
+// 404 on /slo; watch must fail loudly instead of rendering empty frames.
+func TestWatchSurfacesSLOError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "slo evaluator disabled", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	err := runWatch(&strings.Builder{}, srv.URL, 0, 1, false)
+	if err == nil || !strings.Contains(err.Error(), "slo evaluator disabled") {
+		t.Fatalf("err = %v, want the daemon's 404 body surfaced", err)
+	}
+}

@@ -25,18 +25,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"net/netip"
 	"os"
 	"os/signal"
+	"runtime"
+	rtdebug "runtime/debug"
 	"strings"
 	"sync"
 	"syscall"
@@ -45,6 +44,16 @@ import (
 	silkroad "repro"
 	"repro/internal/netproto"
 )
+
+// buildVersion reports the binary's module version from the embedded build
+// info ("(devel)" for plain `go build`/`go run`), for the
+// silkroad_build_info metric.
+func buildVersion() string {
+	if bi, ok := rtdebug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
 
 // specSource tracks where the live spec came from and the last load error,
 // for /configz.
@@ -100,6 +109,7 @@ func main() {
 	sampleEvery := flag.Int("trace-sample", 0, "with -debug, record every Nth packet in the trace ring (0 = armed flows only)")
 	degHigh := flag.Float64("degraded-high", 0.95, "ConnTable occupancy fraction above which new flows are served stateless (0 disables degraded mode)")
 	degLow := flag.Float64("degraded-low", 0.85, "occupancy fraction below which the switch leaves degraded mode")
+	sloInterval := flag.Duration("slo-interval", time.Second, "SLO evaluation interval for /slo and /alertz (0 disables the evaluator)")
 	flag.Parse()
 
 	if *debug && *metricsAddr == "" {
@@ -110,11 +120,16 @@ func main() {
 	cfg.Dataplane.DegradedHighWatermark = *degHigh
 	cfg.Dataplane.DegradedLowWatermark = *degLow
 	telemetry := silkroad.NewTelemetry()
+	telemetry.SetBuildInfo(buildVersion(), runtime.Version())
+	telemetry.SetProcessStart(float64(time.Now().UnixNano()) / 1e9)
 	cfg.Telemetry = telemetry
 	if *debug {
 		cfg.FlightRecorder = silkroad.NewFlightRecorder(silkroad.FlightRecorderConfig{
 			SampleEvery: *sampleEvery,
 		})
+	}
+	if *sloInterval > 0 {
+		cfg.SLO = &silkroad.SLOConfig{Interval: silkroad.Duration((*sloInterval).Nanoseconds())}
 	}
 	sw, err := silkroad.NewSwitch(cfg)
 	if err != nil {
@@ -219,89 +234,10 @@ func main() {
 
 	var srv *http.Server
 	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if err := silkroad.WritePrometheus(w, telemetry.Snapshot(sw.Now())); err != nil {
-				log.Printf("silkroadd: metrics write: %v", err)
-			}
-		})
-		// Readiness: 200 while every pipe is below its occupancy watermark,
-		// 503 with per-pipe detail once any pipe degrades to stateless
-		// service — load-balancer health checks can drain the box before it
-		// starts breaking PCC for new flows.
-		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
-			st := sw.DegradedState()
-			w.Header().Set("Content-Type", "application/json")
-			if st.Degraded {
-				w.WriteHeader(http.StatusServiceUnavailable)
-			}
-			if err := json.NewEncoder(w).Encode(st); err != nil {
-				log.Printf("silkroadd: readyz write: %v", err)
-			}
-		})
-		// Declarative config API: PUT a whole spec, read back what is
-		// applied. Invalid specs answer 422 with the full error list and
-		// touch nothing.
-		mux.HandleFunc("/v1/spec", func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != http.MethodPut {
-				w.Header().Set("Allow", http.MethodPut)
-				http.Error(w, "use PUT", http.StatusMethodNotAllowed)
-				return
-			}
-			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			spec, err := silkroad.ParseSpec(body)
-			if err == nil {
-				_, err = sw.Apply(sw.Now(), spec)
-			}
-			if err != nil {
-				var verr *silkroad.SpecValidationError
-				if errors.As(err, &verr) {
-					w.Header().Set("Content-Type", "application/json")
-					w.WriteHeader(http.StatusUnprocessableEntity)
-					_ = json.NewEncoder(w).Encode(verr)
-					return
-				}
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			src.set("api", "")
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(struct {
-				Generation uint64               `json:"generation"`
-				Statuses   []silkroad.VIPStatus `json:"statuses"`
-			}{sw.SpecGeneration(), sw.VIPStatuses()})
-		})
-		// Read-only view of the applied configuration.
-		mux.HandleFunc("/configz", func(w http.ResponseWriter, _ *http.Request) {
-			source, lastErr := src.get()
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			_ = enc.Encode(struct {
-				Source     string                `json:"source"`
-				LastError  string                `json:"last_error,omitempty"`
-				Generation uint64                `json:"generation"`
-				Converged  bool                  `json:"converged"`
-				Statuses   []silkroad.VIPStatus  `json:"statuses"`
-				Spec       *silkroad.ClusterSpec `json:"spec,omitempty"`
-			}{source, lastErr, sw.SpecGeneration(), sw.Converged(),
-				sw.VIPStatuses(), sw.AppliedSpec()})
-		})
 		if *debug {
-			mux.Handle("/debug/silkroad/", sw.DebugHandler())
-			mux.HandleFunc("/debug/pprof/", pprof.Index)
-			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 			log.Printf("silkroadd: debug surface on http://%s/debug/silkroad/ (pprof at /debug/pprof/)", *metricsAddr)
 		}
-		srv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		srv = &http.Server{Addr: *metricsAddr, Handler: newMux(sw, telemetry, src, *debug)}
 		go func() {
 			log.Printf("silkroadd: serving Prometheus metrics on http://%s/metrics", *metricsAddr)
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

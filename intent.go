@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/intent"
 	"repro/internal/netwide"
+	"repro/internal/slo"
 )
 
 // Declarative control-plane surface, re-exported from internal/intent.
@@ -263,6 +264,11 @@ type ClusterConfig struct {
 	// Switch is the per-member switch configuration. Telemetry and
 	// FlightRecorder pointers are shared: the whole fleet reports into
 	// one registry, with reconcile events labelled by member.
+	//
+	// Exception: when Switch.SLO is set, per-member SLIs need per-member
+	// registries, so members beyond the first get a fresh Telemetry (and
+	// no FlightRecorder — its journal stays with member 0); member 0 keeps
+	// the configured pointers, with a registry auto-created if nil.
 	Switch Config
 	// Topology, when non-nil, gates Apply on netwide placement admission
 	// for specs that declare VIP demands.
@@ -298,7 +304,18 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c := &Cluster{}
 	for i := 0; i < n; i++ {
-		sw, err := NewSwitch(cfg.Switch)
+		mcfg := cfg.Switch
+		if mcfg.SLO != nil {
+			if i == 0 {
+				if mcfg.Telemetry == nil {
+					mcfg.Telemetry = NewTelemetry()
+				}
+			} else {
+				mcfg.Telemetry = NewTelemetry()
+				mcfg.FlightRecorder = nil
+			}
+		}
+		sw, err := NewSwitch(mcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -306,10 +323,51 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	fcfg := intent.FleetConfig{Config: cfg.Reconcile, Topology: cfg.Topology}
 	if fcfg.Tracer == nil {
-		fcfg.Tracer = tracerFor(cfg.Switch)
+		if cfg.Switch.SLO != nil {
+			fcfg.Tracer = c.sws[0].Telemetry()
+		} else {
+			fcfg.Tracer = tracerFor(cfg.Switch)
+		}
 	}
 	c.rec = intent.NewCluster(switchFleet{c.sws}, fcfg)
+	if cfg.Switch.SLO != nil {
+		// A page-severity alert firing anywhere in the fleet holds the
+		// rolling frontier: don't push a new generation onto a burning
+		// fleet. The gate reads only evaluator state (its report mutex),
+		// never a pipe lock.
+		sws := c.sws
+		c.rec.SetRolloutGate(func() (bool, string) {
+			for i, sw := range sws {
+				if ev := sw.SLO(); ev != nil && ev.PageFiring() {
+					return true, fmt.Sprintf("member %d page firing", i)
+				}
+			}
+			return false, ""
+		})
+	}
 	return c, nil
+}
+
+// SLO aggregates every member's current SLO report into a fleet view:
+// summed throughput SLIs, worst-switch attribution, and the union of
+// active alerts with member labels. Members without an evaluator
+// contribute empty reports.
+func (c *Cluster) SLO() FleetSLOReport {
+	reports := make([]SLOReport, len(c.sws))
+	for i, sw := range c.sws {
+		if ev := sw.SLO(); ev != nil {
+			reports[i] = ev.Report()
+		}
+	}
+	return slo.Aggregate(reports)
+}
+
+// RolloutPaused reports whether an in-flight rolling update is currently
+// held by a firing fleet alert.
+func (c *Cluster) RolloutPaused() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec.RolloutPaused()
 }
 
 // Size returns the fleet size.

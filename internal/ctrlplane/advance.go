@@ -247,6 +247,40 @@ func (cp *ControlPlane) NextAging() (simtime.Time, bool) {
 	return cp.wheel.NextFire()
 }
 
+// NextTransition returns the earliest instant an update state transition
+// is already eligible to run (checkTransitions would make progress). On a
+// quiescent switch an update reaches its watermark with no insertion or
+// drain left to piggyback on, so runtime drivers must wake up for it
+// explicitly — like NextAging, it is merged into the switch runtime's
+// deadline and kept out of NextEventTime's simulation semantics.
+func (cp *ControlPlane) NextTransition() (simtime.Time, bool) {
+	var best simtime.Time
+	found := false
+	consider := func(t simtime.Time) {
+		if !found || t.Before(best) {
+			best, found = t, true
+		}
+	}
+	for _, vc := range cp.vips {
+		switch vc.state {
+		case updRecording:
+			if cp.noPendingBefore(vc.treq) {
+				consider(vc.treq)
+			}
+		case updTransition:
+			if cp.noPendingBefore(vc.texec) {
+				consider(vc.texec)
+			}
+			// updIdle with queued work is deliberately absent: a queued
+			// update that could start is started by RequestUpdate or the
+			// finishUpdate cascade; one held by version exhaustion only
+			// unblocks on EndConnection, and reporting it as due would
+			// spin the runtime driver.
+		}
+	}
+	return best, found
+}
+
 // HandleResult performs the CPU side of a packet's outcome: arbitrating
 // redirected SYNs and tracking liveness. It returns the authoritative
 // forwarding decision (for redirects, the decision after software

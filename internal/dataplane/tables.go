@@ -280,6 +280,7 @@ func (s *Switch) InsertConnAt(now simtime.Time, t netproto.FiveTuple, ver uint32
 			OK:          err == nil,
 			Len:         s.conn.Len(),
 			Capacity:    s.conn.Capacity(),
+			Effective:   s.conn.EffectiveCapacity(),
 		})
 	}
 	return err
@@ -301,14 +302,15 @@ func (s *Switch) DeleteConnAt(now simtime.Time, t netproto.FiveTuple) bool {
 			vs.tel.ConnsEnded.Inc()
 		}
 		s.tracer.OnCuckoo(telemetry.CuckooEvent{
-			Now:      now,
-			Pipe:     s.pipe,
-			Op:       telemetry.CuckooDelete,
-			KeyHash:  keyHash,
-			Digest:   s.ConnDigest(t),
-			OK:       true,
-			Len:      s.conn.Len(),
-			Capacity: s.conn.Capacity(),
+			Now:       now,
+			Pipe:      s.pipe,
+			Op:        telemetry.CuckooDelete,
+			KeyHash:   keyHash,
+			Digest:    s.ConnDigest(t),
+			OK:        true,
+			Len:       s.conn.Len(),
+			Capacity:  s.conn.Capacity(),
+			Effective: s.conn.EffectiveCapacity(),
 		})
 	}
 	return ok
@@ -362,6 +364,7 @@ func (s *Switch) ResolveSYNCollisionAt(now simtime.Time, t netproto.FiveTuple, r
 			OK:          relocErr == nil,
 			Len:         s.conn.Len(),
 			Capacity:    s.conn.Capacity(),
+			Effective:   s.conn.EffectiveCapacity(),
 		})
 	}
 	if relocErr != nil {

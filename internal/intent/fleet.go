@@ -60,6 +60,24 @@ type ClusterReconciler struct {
 	retryAt  simtime.Time // phaseBackoff: when to retry the rollout
 	attempt  int          // rollout attempts for cur
 	lastGen  uint64
+
+	gate   func() (bool, string) // optional rollout gate (SLO page firing)
+	paused bool                  // last gate verdict while rolling
+}
+
+// SetRolloutGate installs a predicate consulted before the frontier
+// advances during a rollout. When it returns pause=true (e.g. a
+// page-severity SLO alert is firing somewhere in the fleet), the rollout
+// holds: already-updated members keep servicing their queued retries, but
+// no further switch receives the new generation until the gate clears.
+func (c *ClusterReconciler) SetRolloutGate(gate func() (pause bool, reason string)) {
+	c.gate = gate
+}
+
+// RolloutPaused reports whether an in-flight rollout is currently held by
+// the gate.
+func (c *ClusterReconciler) RolloutPaused() bool {
+	return c.paused && c.phase == phaseRolling
 }
 
 // NewCluster builds a ClusterReconciler over fleet.
@@ -173,8 +191,20 @@ func (c *ClusterReconciler) Step(now simtime.Time) bool {
 	}
 	if c.frontier >= len(c.recs) {
 		c.phase = phaseIdle
+		c.paused = false
 		c.prev = c.cur
 		return true
+	}
+
+	// The rollout gate: while a page-severity alert burns, hold the
+	// frontier — don't push a new generation onto a fleet that is already
+	// unhealthy (queued retries above still drain).
+	if c.gate != nil {
+		pause, _ := c.gate()
+		c.paused = pause
+		if pause {
+			return false
+		}
 	}
 
 	// The drain gate: the previous member must have applied its writes
@@ -330,6 +360,12 @@ func (c *ClusterReconciler) Statuses() []VIPStatus {
 	}
 	out := make([]VIPStatus, 0, len(agg))
 	for _, st := range agg {
+		if c.RolloutPaused() && st.ObservedGeneration < c.lastGen &&
+			condRank(st.Condition) < condRank(CondDegraded) {
+			st.Condition = CondDegraded
+			st.Reason = "RolloutPaused"
+			st.Message = "rollout held by firing fleet alert"
+		}
 		out = append(out, *st)
 	}
 	sortStatuses(out)

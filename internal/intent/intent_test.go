@@ -592,6 +592,62 @@ func TestFleetDrainGate(t *testing.T) {
 	}
 }
 
+// TestFleetRolloutGate checks a firing fleet alert (the SLO engine's
+// page-severity signal) holds an in-flight rollout: no member receives the
+// new generation while the gate pauses, statuses report the hold, and the
+// rollout completes once the gate clears.
+func TestFleetRolloutGate(t *testing.T) {
+	fleet := newFakeFleet(3)
+	c := NewCluster(fleet, FleetConfig{})
+	paused := false
+	c.SetRolloutGate(func() (bool, string) { return paused, "page firing" })
+
+	if err := c.SetSpec(0, specOf(VIPSpec{VIP: "10.0.0.1:80",
+		Pool: []string{"1.1.1.1:8080"}})); err != nil {
+		t.Fatal(err)
+	}
+	now := driveFleet(t, c, 0, 100)
+	if c.RolloutPaused() {
+		t.Fatal("RolloutPaused true with no gate trip")
+	}
+
+	paused = true
+	if err := c.SetSpec(now, specOf(VIPSpec{VIP: "10.0.0.1:80",
+		Pool: []string{"1.1.1.1:8080", "1.1.1.2:8080"}})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		now = now.Add(simtime.Millisecond)
+		if c.Step(now) {
+			t.Fatal("fleet converged through a closed gate")
+		}
+	}
+	if !c.RolloutPaused() {
+		t.Fatal("RolloutPaused false while gate trips mid-rollout")
+	}
+	for i := range fleet.targets {
+		if g := c.Member(i).Generation(); g >= 2 {
+			t.Fatalf("member %d received generation %d through a closed gate", i, g)
+		}
+	}
+	for _, st := range c.Statuses() {
+		if st.Condition != CondDegraded || st.Reason != "RolloutPaused" {
+			t.Fatalf("paused status %+v, want Degraded/RolloutPaused", st)
+		}
+	}
+
+	paused = false
+	driveFleet(t, c, now, 100)
+	if c.RolloutPaused() {
+		t.Fatal("RolloutPaused true after gate cleared and rollout finished")
+	}
+	for _, st := range c.Statuses() {
+		if st.Condition != CondApplied || st.ObservedGeneration != 2 {
+			t.Errorf("fleet status %+v, want Applied@2", st)
+		}
+	}
+}
+
 // TestFleetRollback rejects the rollout on member 1 (retry budget
 // exhausted), checks member 0 is rolled back to the previous generation,
 // and converges once the fault clears.

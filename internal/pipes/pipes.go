@@ -514,9 +514,11 @@ func (e *Engine) NextDue() (simtime.Time, bool) {
 		p.mu.Lock()
 		at, ok := p.cp.NextEventTime()
 		ag, agOK := p.cp.NextAging()
+		tr, trOK := p.cp.NextTransition()
 		p.mu.Unlock()
 		consider(at, ok)
 		consider(ag, agOK)
+		consider(tr, trOK)
 	}
 	return best, have
 }

@@ -1,0 +1,220 @@
+package slo
+
+import "repro/internal/simtime"
+
+// Severity ranks an alert's operational weight: a Ticket asks for a look,
+// a Page demands action — and pauses fleet rollouts while it fires.
+type Severity int
+
+const (
+	SeverityTicket Severity = iota
+	SeverityPage
+)
+
+// String returns the lowercase name used in JSON payloads.
+func (s Severity) String() string {
+	if s == SeverityPage {
+		return "page"
+	}
+	return "ticket"
+}
+
+// AlertState is the burn-rate state machine's position.
+type AlertState int
+
+const (
+	// StateInactive: the signal has never breached, or a Pending breach
+	// receded before confirming.
+	StateInactive AlertState = iota
+	// StatePending: the fast window breached; waiting for the slow window
+	// and the fire streak to confirm.
+	StatePending
+	// StateFiring: both windows breached for FireAfter consecutive
+	// evaluations.
+	StateFiring
+	// StateResolved: a fired alert whose fast window has stayed below the
+	// resolve band for ClearAfter consecutive evaluations. Sticky until
+	// the next breach.
+	StateResolved
+)
+
+var stateNames = [...]string{"inactive", "pending", "firing", "resolved"}
+
+// String returns the lowercase name used in JSON payloads.
+func (s AlertState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "unknown"
+}
+
+// Rule is one burn-rate alert policy entry. Value extracts the watched
+// signal from a window's SLIs; the rule trips when the fast-window value
+// breaches Threshold and fires once the slow window agrees for FireAfter
+// consecutive evaluations (multi-window burn rate: fast to detect, slow to
+// resist flapping).
+type Rule struct {
+	Name     string
+	Severity Severity
+	// Threshold is the breach level for Value.
+	Threshold float64
+	// ResolveFraction scales Threshold into the resolve band: a firing
+	// alert begins clearing only below Threshold*ResolveFraction
+	// (hysteresis; default 0.8).
+	ResolveFraction float64
+	// FireAfter is the consecutive breaching evaluations needed to go
+	// Pending -> Firing (default 2); ClearAfter the consecutive
+	// below-band evaluations to go Firing -> Resolved (default 3).
+	FireAfter  int
+	ClearAfter int
+	Value      func(s Signals) float64
+}
+
+func (r Rule) withDefaults() Rule {
+	if r.ResolveFraction <= 0 || r.ResolveFraction > 1 {
+		r.ResolveFraction = 0.8
+	}
+	if r.FireAfter <= 0 {
+		r.FireAfter = 2
+	}
+	if r.ClearAfter <= 0 {
+		r.ClearAfter = 3
+	}
+	return r
+}
+
+// DefaultRules is the stock alert policy: insert-path pressure, pending
+// p99, digest aliasing, degraded exposure and forecast exhaustion.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "insert-pressure", Severity: SeverityPage, Threshold: 200,
+			Value: func(s Signals) float64 { return s.InsertPressure }},
+		{Name: "pending-p99", Severity: SeverityTicket, Threshold: 0.005,
+			Value: func(s Signals) float64 { return s.PendingP99 }},
+		{Name: "digest-fp", Severity: SeverityTicket, Threshold: 0.02,
+			Value: func(s Signals) float64 { return s.DigestFPRate }},
+		{Name: "degraded", Severity: SeverityPage, Threshold: 0.25,
+			Value: func(s Signals) float64 { return s.DegradedFrac }},
+		{Name: "conntable-exhaustion", Severity: SeverityPage, Threshold: 1,
+			Value: func(s Signals) float64 { return s.ExhaustionRisk }},
+	}
+}
+
+// AlertStatus is one alert's externally visible state, the /alertz JSON
+// shape.
+type AlertStatus struct {
+	Rule      string       `json:"rule"`
+	Severity  string       `json:"severity"`
+	State     string       `json:"state"`
+	Value     float64      `json:"value"`
+	SlowValue float64      `json:"slow_value"`
+	Threshold float64      `json:"threshold"`
+	Since     simtime.Time `json:"since_ns"`
+	// Cursor is the flight-recorder journal sequence captured at the last
+	// state transition: replaying the journal to this point reproduces
+	// the state that moved the alert.
+	Cursor uint64 `json:"cursor"`
+}
+
+// Transition is one state-machine edge, the golden-timeline record.
+type Transition struct {
+	Time   simtime.Time `json:"t_ns"`
+	Rule   string       `json:"rule"`
+	From   string       `json:"from"`
+	To     string       `json:"to"`
+	Value  float64      `json:"value"`
+	Cursor uint64       `json:"cursor"`
+}
+
+// maxHistory bounds the evaluator's transition journal.
+const maxHistory = 256
+
+// alert is one rule's live state.
+type alert struct {
+	rule        Rule
+	state       AlertState
+	since       simtime.Time
+	cursor      uint64
+	vFast       float64
+	vSlow       float64
+	fireStreak  int
+	clearStreak int
+}
+
+func newAlert(r Rule) alert { return alert{rule: r.withDefaults()} }
+
+func (a *alert) status() AlertStatus {
+	return AlertStatus{
+		Rule:      a.rule.Name,
+		Severity:  a.rule.Severity.String(),
+		State:     a.state.String(),
+		Value:     a.vFast,
+		SlowValue: a.vSlow,
+		Threshold: a.rule.Threshold,
+		Since:     a.since,
+		Cursor:    a.cursor,
+	}
+}
+
+// move records the transition and enters the new state.
+func (a *alert) move(now simtime.Time, to AlertState, cursor uint64, hist *[]Transition) {
+	t := Transition{Time: now, Rule: a.rule.Name,
+		From: a.state.String(), To: to.String(), Value: a.vFast, Cursor: cursor}
+	*hist = append(*hist, t)
+	if len(*hist) > maxHistory {
+		copy(*hist, (*hist)[len(*hist)-maxHistory:])
+		*hist = (*hist)[:maxHistory]
+	}
+	a.state = to
+	a.since = now
+	a.cursor = cursor
+}
+
+// eval advances the state machine one evaluation. cursor is the journal
+// position to stamp on any transition; hist receives transition records
+// (bounded at maxHistory, oldest dropped).
+func (a *alert) eval(now simtime.Time, fast, slow Signals, cursor uint64, hist *[]Transition) {
+	a.vFast = a.rule.Value(fast)
+	a.vSlow = a.rule.Value(slow)
+	breach := a.vFast >= a.rule.Threshold
+	confirm := a.vSlow >= a.rule.Threshold
+	below := a.vFast < a.rule.Threshold*a.rule.ResolveFraction
+
+	switch a.state {
+	case StateInactive, StateResolved:
+		if breach {
+			a.move(now, StatePending, cursor, hist)
+			a.fireStreak = 0
+			if confirm {
+				a.fireStreak = 1
+			}
+		}
+	case StatePending:
+		switch {
+		case breach:
+			if confirm {
+				a.fireStreak++
+			} else {
+				a.fireStreak = 0
+			}
+			if a.fireStreak >= a.rule.FireAfter {
+				a.move(now, StateFiring, cursor, hist)
+				a.clearStreak = 0
+			}
+		case below:
+			a.move(now, StateInactive, cursor, hist)
+			a.fireStreak = 0
+		}
+		// In the hysteresis band: hold Pending, keep the streak.
+	case StateFiring:
+		if below {
+			a.clearStreak++
+			if a.clearStreak >= a.rule.ClearAfter {
+				a.move(now, StateResolved, cursor, hist)
+				a.clearStreak = 0
+			}
+		} else {
+			a.clearStreak = 0
+		}
+	}
+}

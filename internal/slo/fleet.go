@@ -1,0 +1,114 @@
+package slo
+
+// FleetAlert is one member's alert carried into the fleet view with its
+// origin attached.
+type FleetAlert struct {
+	Member int `json:"member"`
+	AlertStatus
+}
+
+// FleetReport is the cluster roll-up of per-member SLO reports: summed
+// throughput SLIs, worst-member attribution for each latency/pressure
+// signal, and the union of non-inactive alerts.
+type FleetReport struct {
+	Now     int64   `json:"now_ns"`
+	Members int     `json:"members"`
+	Fast    Signals `json:"fast"`
+	Slow    Signals `json:"slow"`
+	// Worst* attribute the dominating member for each maximum-style SLI
+	// (-1 when no member reported).
+	WorstPendingP99 int `json:"worst_pending_p99_member"`
+	WorstDegraded   int `json:"worst_degraded_member"`
+	WorstExhaustion int `json:"worst_exhaustion_member"`
+	// PageFiring is true when any member has a page-severity alert in the
+	// Firing state — the rollout-pause condition.
+	PageFiring bool         `json:"page_firing"`
+	Alerts     []FleetAlert `json:"alerts,omitempty"`
+}
+
+// Aggregate folds per-member reports into a fleet view. Rate SLIs (PPS,
+// new-flow rate, insert pressure) sum across members; bound SLIs (pending
+// p99, degraded fraction, digest-FP rate, exhaustion risk, PCC risk) take
+// the fleet-worst value, with the responsible member recorded. Alerts keep
+// member attribution and rule order, so the output is deterministic for
+// deterministic inputs.
+func Aggregate(reports []Report) FleetReport {
+	out := FleetReport{
+		Members:         len(reports),
+		WorstPendingP99: -1,
+		WorstDegraded:   -1,
+		WorstExhaustion: -1,
+	}
+	for m := range reports {
+		r := &reports[m]
+		if int64(r.Now) > out.Now {
+			out.Now = int64(r.Now)
+		}
+		accumulate(&out.Fast, r.Fast, m, &out.WorstPendingP99, &out.WorstDegraded, &out.WorstExhaustion)
+		accumulateSlow(&out.Slow, r.Slow)
+		for _, a := range r.Alerts {
+			if a.State == StateInactive.String() {
+				continue
+			}
+			out.Alerts = append(out.Alerts, FleetAlert{Member: m, AlertStatus: a})
+			if a.State == StateFiring.String() && a.Severity == SeverityPage.String() {
+				out.PageFiring = true
+			}
+		}
+	}
+	return out
+}
+
+// accumulate folds one member's fast signals into agg, tracking which
+// member holds each maximum.
+func accumulate(agg *Signals, s Signals, m int, worstP99, worstDeg, worstExh *int) {
+	if s.Seconds > agg.Seconds {
+		agg.Seconds = s.Seconds
+	}
+	agg.PPS += s.PPS
+	agg.NewFlowRate += s.NewFlowRate
+	agg.InsertPressure += s.InsertPressure
+	if s.PendingP99 >= agg.PendingP99 && (s.PendingP99 > 0 || *worstP99 < 0) {
+		agg.PendingP99 = s.PendingP99
+		*worstP99 = m
+	}
+	if s.DegradedFrac >= agg.DegradedFrac && (s.DegradedFrac > 0 || *worstDeg < 0) {
+		agg.DegradedFrac = s.DegradedFrac
+		*worstDeg = m
+	}
+	if s.ExhaustionRisk >= agg.ExhaustionRisk && (s.ExhaustionRisk > 0 || *worstExh < 0) {
+		agg.ExhaustionRisk = s.ExhaustionRisk
+		*worstExh = m
+	}
+	if s.DigestFPRate > agg.DigestFPRate {
+		agg.DigestFPRate = s.DigestFPRate
+	}
+	if s.PCCRisk > agg.PCCRisk {
+		agg.PCCRisk = s.PCCRisk
+	}
+}
+
+// accumulateSlow folds slow-window signals (no attribution tracking).
+func accumulateSlow(agg *Signals, s Signals) {
+	if s.Seconds > agg.Seconds {
+		agg.Seconds = s.Seconds
+	}
+	agg.PPS += s.PPS
+	agg.NewFlowRate += s.NewFlowRate
+	agg.InsertPressure += s.InsertPressure
+	if s.PendingP99 > agg.PendingP99 {
+		agg.PendingP99 = s.PendingP99
+	}
+	if s.DegradedFrac > agg.DegradedFrac {
+		agg.DegradedFrac = s.DegradedFrac
+	}
+	if s.ExhaustionRisk > agg.ExhaustionRisk {
+		agg.ExhaustionRisk = s.ExhaustionRisk
+	}
+	if s.DigestFPRate > agg.DigestFPRate {
+		agg.DigestFPRate = s.DigestFPRate
+	}
+	if s.PCCRisk > agg.PCCRisk {
+		agg.PCCRisk = s.PCCRisk
+	}
+}

@@ -108,6 +108,28 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// SnapshotInto captures the histogram's current state into s, reusing
+// s.Bounds and s.Counts when their capacity suffices — the allocation-free
+// form of Snapshot for periodic samplers (the SLO engine's delta ring).
+func (h *Histogram) SnapshotInto(s *HistogramSnapshot) {
+	if cap(s.Bounds) < len(h.bounds) {
+		s.Bounds = make([]float64, len(h.bounds))
+	}
+	s.Bounds = s.Bounds[:len(h.bounds)]
+	copy(s.Bounds, h.bounds)
+	if cap(s.Counts) < len(h.counts) {
+		s.Counts = make([]int64, len(h.counts))
+	}
+	s.Counts = s.Counts[:len(h.counts)]
+	s.Count = 0
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+}
+
 // HistogramSnapshot is a point-in-time copy of a Histogram, serializable
 // to JSON and convertible to the stats toolkit's histogram type.
 type HistogramSnapshot struct {

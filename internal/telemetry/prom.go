@@ -39,6 +39,17 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	fams = append(fams, pipeFamilies(s.Pipes)...)
 	fams = append(fams, promFamily{name: "silkroad_virtual_time_seconds", typ: "gauge",
 		samples: []promSample{{value: formatPromFloat(float64(s.Now) / 1e9)}}})
+	if s.Build != nil {
+		fams = append(fams, promFamily{name: "silkroad_build_info", typ: "gauge",
+			samples: []promSample{{
+				labels: promLabels("goversion", s.Build.GoVersion, "version", s.Build.Version),
+				value:  "1",
+			}}})
+	}
+	if s.ProcessStart > 0 {
+		fams = append(fams, promFamily{name: "silkroad_process_start_time_seconds", typ: "gauge",
+			samples: []promSample{{value: formatPromFloat(s.ProcessStart)}}})
+	}
 
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
@@ -136,6 +147,9 @@ func pipeFamilies(pipes []PipeSnapshot) []promFamily {
 	packets := promFamily{name: "silkroad_pipe_packets_total", typ: "counter"}
 	bytes := promFamily{name: "silkroad_pipe_bytes_total", typ: "counter"}
 	verdicts := promFamily{name: "silkroad_pipe_verdicts_total", typ: "counter"}
+	entries := promFamily{name: "silkroad_pipe_conn_entries", typ: "gauge"}
+	capacity := promFamily{name: "silkroad_pipe_conn_capacity", typ: "gauge"}
+	degraded := promFamily{name: "silkroad_pipe_degraded", typ: "gauge"}
 	for _, p := range pipes {
 		pipe := fmt.Sprintf("%d", p.Pipe)
 		packets.samples = append(packets.samples, promSample{
@@ -149,8 +163,18 @@ func pipeFamilies(pipes []PipeSnapshot) []promFamily {
 				value:  formatPromUint(p.Verdicts[v]),
 			})
 		}
+		entries.samples = append(entries.samples, promSample{
+			labels: promLabels("pipe", pipe), value: formatPromInt(p.ConnEntries)})
+		capacity.samples = append(capacity.samples, promSample{
+			labels: promLabels("pipe", pipe), value: formatPromInt(p.ConnCapacity)})
+		dv := "0"
+		if p.Degraded {
+			dv = "1"
+		}
+		degraded.samples = append(degraded.samples, promSample{
+			labels: promLabels("pipe", pipe), value: dv})
 	}
-	return []promFamily{packets, bytes, verdicts}
+	return []promFamily{packets, bytes, verdicts, entries, capacity, degraded}
 }
 
 // promLabels renders a {k="v",...} block from alternating key/value pairs,

@@ -20,6 +20,8 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // for the flight recorder.
 func goldenSnapshot() Snapshot {
 	r := NewRegistry()
+	r.SetBuildInfo("v0.8.0", "go1.xx")
+	r.SetProcessStart(1700000000)
 	vsA := r.RegisterVIP(0, VIPKey{Addr: netip.MustParseAddr("10.0.0.1"), Port: 80, Proto: 6})
 	vsB := r.RegisterVIP(1, VIPKey{Addr: netip.MustParseAddr("10.0.0.2"), Port: 443, Proto: 17})
 
@@ -36,7 +38,8 @@ func goldenSnapshot() Snapshot {
 	r.OnCuckoo(CuckooEvent{Now: 7e9, Pipe: 0, Op: CuckooRelocate, Relocations: 2,
 		OK: true, Len: 5, Capacity: 100})
 	r.OnCuckoo(CuckooEvent{Now: 8e9, Pipe: 0, Op: CuckooInsert, Moves: 40,
-		OK: false, Len: 5, Capacity: 100})
+		OK: false, Len: 5, Capacity: 100, Effective: 80})
+	r.OnDegraded(DegradedEvent{Now: 8e9, Pipe: 1, Degraded: true, Entries: 70, Capacity: 80})
 	r.OnReconcile(ReconcileEvent{Now: 8e9, Step: ReconcileRound, Generation: 2})
 	r.OnReconcile(ReconcileEvent{Now: 8e9, Step: ReconcileApply, Op: "update",
 		Generation: 2, Latency: 2e6})

@@ -117,11 +117,18 @@ var (
 	kickBounds  = []float64{0, 1, 2, 4, 8, 16, 32, 64}
 )
 
-// pipeSeries is the per-pipe accumulator behind OnVerdict.
+// pipeSeries is the per-pipe accumulator behind OnVerdict, plus the
+// occupancy tap fed by OnCuckoo/OnDegraded: the last reported ConnTable
+// entry count, effective capacity and degraded flag, readable without any
+// lock the packet path shares (plain atomics).
 type pipeSeries struct {
 	packets  Counter
 	bytes    Counter
 	verdicts [NumVerdicts]Counter
+
+	connEntries  Gauge
+	connCapacity Gauge
+	degraded     Gauge // 0 or 1
 }
 
 // PipeSnapshot is the serializable per-pipe view.
@@ -130,6 +137,11 @@ type PipeSnapshot struct {
 	Packets  uint64            `json:"packets"`
 	Bytes    uint64            `json:"bytes"`
 	Verdicts map[string]uint64 `json:"verdicts"`
+	// ConnEntries/ConnCapacity mirror the pipe's ConnTable occupancy after
+	// its most recent mutation (effective capacity, post injected limits).
+	ConnEntries  int64 `json:"conn_entries"`
+	ConnCapacity int64 `json:"conn_capacity"`
+	Degraded     bool  `json:"degraded,omitempty"`
 }
 
 type vipPipeKey struct {
@@ -148,6 +160,11 @@ type Registry struct {
 	hists    map[string]*Histogram
 	vips     map[vipPipeKey]*VIPSeries
 	vipKeys  map[VIPKey]bool
+
+	// build-info and process-start metadata for exposition; set once at
+	// startup (cmd/silkroadd), read under mu at Snapshot.
+	build        *BuildInfo
+	processStart float64
 
 	// pipes is copy-on-write: hooks load the slice atomically and index
 	// it; registration of a new pipe swaps in a grown copy under mu.
@@ -384,7 +401,8 @@ func (r *Registry) OnLearnFlush(e LearnFlushEvent) {
 }
 
 // OnCuckoo implements Tracer: kick-chain distribution, relocation and
-// failure counters, and the post-mutation occupancy gauge.
+// failure counters, the post-mutation occupancy gauge, and the per-pipe
+// occupancy tap the SLO forecaster reads.
 func (r *Registry) OnCuckoo(e CuckooEvent) {
 	if e.Op == CuckooInsert {
 		r.kickChain.Observe(float64(e.Moves))
@@ -398,16 +416,32 @@ func (r *Registry) OnCuckoo(e CuckooEvent) {
 	if e.Capacity > 0 {
 		r.connOccupancy.Set(int64(e.Len) * 1_000_000 / int64(e.Capacity))
 	}
+	eff := e.Effective
+	if eff == 0 {
+		eff = e.Capacity
+	}
+	if eff > 0 {
+		p := r.pipe(e.Pipe)
+		p.connEntries.Set(int64(e.Len))
+		p.connCapacity.Set(int64(eff))
+	}
 }
 
 // OnDegraded implements Tracer: counts transitions and tracks how many
-// pipes are currently degraded.
+// pipes are currently degraded, per pipe and chip-wide.
 func (r *Registry) OnDegraded(e DegradedEvent) {
 	r.degradedTransitions.Inc()
+	p := r.pipe(e.Pipe)
 	if e.Degraded {
 		r.degradedPipes.Add(1)
+		p.degraded.Set(1)
 	} else {
 		r.degradedPipes.Add(-1)
+		p.degraded.Set(0)
+	}
+	if e.Capacity > 0 {
+		p.connEntries.Set(int64(e.Entries))
+		p.connCapacity.Set(int64(e.Capacity))
 	}
 }
 
@@ -462,6 +496,32 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	VIPs       map[string]VIPSnapshot       `json:"vips"`
 	Pipes      []PipeSnapshot               `json:"pipes"`
+	// Build and ProcessStart carry process metadata when the registry was
+	// stamped with SetBuildInfo/SetProcessStart (cmd/silkroadd does both).
+	Build        *BuildInfo `json:"build,omitempty"`
+	ProcessStart float64    `json:"process_start_unix_seconds,omitempty"`
+}
+
+// BuildInfo labels the running binary for the silkroad_build_info metric.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goversion"`
+}
+
+// SetBuildInfo stamps the registry with the binary's version labels,
+// exposed as the silkroad_build_info gauge (constant 1).
+func (r *Registry) SetBuildInfo(version, goVersion string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.build = &BuildInfo{Version: version, GoVersion: goVersion}
+}
+
+// SetProcessStart stamps the process start time (Unix seconds), exposed as
+// silkroad_process_start_time_seconds.
+func (r *Registry) SetProcessStart(unixSeconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.processStart = unixSeconds
 }
 
 // Snapshot captures every instrument at virtual time now.
@@ -483,6 +543,8 @@ func (r *Registry) Snapshot(now simtime.Time) Snapshot {
 	for k, v := range r.vips {
 		vips[k] = v
 	}
+	build := r.build
+	processStart := r.processStart
 	r.mu.Unlock()
 
 	s := Snapshot{
@@ -492,6 +554,11 @@ func (r *Registry) Snapshot(now simtime.Time) Snapshot {
 		Histograms: make(map[string]HistogramSnapshot, len(hists)),
 		VIPs:       make(map[string]VIPSnapshot),
 	}
+	if build != nil {
+		b := *build
+		s.Build = &b
+	}
+	s.ProcessStart = processStart
 	for n, c := range counters {
 		s.Counters[n] = c.Load()
 	}
@@ -509,10 +576,13 @@ func (r *Registry) Snapshot(now simtime.Time) Snapshot {
 	}
 	for i, p := range *r.pipes.Load() {
 		ps := PipeSnapshot{
-			Pipe:     i,
-			Packets:  p.packets.Load(),
-			Bytes:    p.bytes.Load(),
-			Verdicts: make(map[string]uint64, NumVerdicts),
+			Pipe:         i,
+			Packets:      p.packets.Load(),
+			Bytes:        p.bytes.Load(),
+			Verdicts:     make(map[string]uint64, NumVerdicts),
+			ConnEntries:  p.connEntries.Load(),
+			ConnCapacity: p.connCapacity.Load(),
+			Degraded:     p.degraded.Load() != 0,
 		}
 		for v := Verdict(0); v < NumVerdicts; v++ {
 			if n := p.verdicts[v].Load(); n > 0 {
@@ -556,8 +626,13 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	for n, v := range s.VIPs {
 		out.VIPs[n] = v.sub(prev.VIPs[n])
 	}
+	out.Build = s.Build
+	out.ProcessStart = s.ProcessStart
 	for i, p := range s.Pipes {
+		// Occupancy fields keep gauge semantics: the delta reports the
+		// current values, not a difference.
 		d := PipeSnapshot{Pipe: p.Pipe, Packets: p.Packets, Bytes: p.Bytes,
+			ConnEntries: p.ConnEntries, ConnCapacity: p.ConnCapacity, Degraded: p.Degraded,
 			Verdicts: make(map[string]uint64, len(p.Verdicts))}
 		for k, v := range p.Verdicts {
 			d.Verdicts[k] = v

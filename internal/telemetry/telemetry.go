@@ -363,6 +363,10 @@ type CuckooEvent struct {
 	// Len and Capacity give the table occupancy after the operation.
 	Len      int
 	Capacity int
+	// Effective is the effective capacity after any injected occupancy
+	// limit (0 on events predating the limit plumbing); the SLO engine's
+	// occupancy forecaster measures time-to-exhaustion against it.
+	Effective int
 }
 
 // DegradedEvent reports a dataplane degraded-mode transition: the pipe's

@@ -72,6 +72,9 @@ func (s *Switch) nextDue() (Time, bool) {
 	if ag, agOK := s.cp.NextAging(); agOK && (!ok || ag.Before(at)) {
 		at, ok = ag, true
 	}
+	if tr, trOK := s.cp.NextTransition(); trOK && (!ok || tr.Before(at)) {
+		at, ok = tr, true
+	}
 	return at, ok
 }
 

@@ -41,6 +41,7 @@ import (
 	"repro/internal/netproto"
 	"repro/internal/pipes"
 	"repro/internal/simtime"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -112,7 +113,39 @@ type (
 	// HealthProbe reports whether a DIP answered a probe sent at now;
 	// FaultInjector.WrapProbe layers injected outages over one.
 	HealthProbe = health.ProbeFunc
+	// SLOConfig parameterizes the SLO evaluator attached via Config.SLO:
+	// evaluation interval, burn-rate windows and the alert policy.
+	SLOConfig = slo.Config
+	// SLOEvaluator is the periodic SLO engine; Switch.SLO returns it.
+	SLOEvaluator = slo.Evaluator
+	// SLOReport is the evaluator's published SLI/forecast/alert state.
+	SLOReport = slo.Report
+	// SLORule is one burn-rate alert policy entry.
+	SLORule = slo.Rule
+	// SLOSignals are the chip-wide SLIs derived over one window.
+	SLOSignals = slo.Signals
+	// SLOPipeForecast is the occupancy forecaster's per-pipe output.
+	SLOPipeForecast = slo.PipeForecast
+	// SLOVIPIndicators is one VIP's per-window SLI row.
+	SLOVIPIndicators = slo.VIPSLI
+	// AlertStatus is one alert's externally visible state.
+	AlertStatus = slo.AlertStatus
+	// AlertTransition is one alert state-machine edge, with its flightrec
+	// journal cursor exemplar.
+	AlertTransition = slo.Transition
+	// FleetSLOReport is the cluster roll-up of per-member SLO reports.
+	FleetSLOReport = slo.FleetReport
 )
+
+// Alert severities, re-exported for policy construction.
+const (
+	SeverityTicket = slo.SeverityTicket
+	SeverityPage   = slo.SeverityPage
+)
+
+// DefaultSLORules returns the stock alert policy (insert pressure, pending
+// p99, digest aliasing, degraded exposure, forecast exhaustion).
+func DefaultSLORules() []SLORule { return slo.DefaultRules() }
 
 // Fault kinds, re-exported for plan construction.
 const (
@@ -240,6 +273,13 @@ type Config struct {
 	// occupancy squeezes and learn-digest loss all fire at their scheduled
 	// virtual times, deterministically. Nil keeps the switch fault-free.
 	Faults *FaultPlan
+	// SLO, when non-nil, attaches the SLO evaluator (internal/slo): a
+	// periodic scheduler source that derives SLIs, occupancy forecasts and
+	// burn-rate alerts from the telemetry registry. Requires Telemetry.
+	// When a FlightRecorder is also attached and the config names no
+	// Journal source, alert transitions capture its journal cursor as an
+	// exemplar automatically.
+	SLO *SLOConfig
 }
 
 // Defaults returns the paper's operating point for a switch provisioned
@@ -286,6 +326,7 @@ type Switch struct {
 	tel *Telemetry      // nil when no registry is attached
 	rec *FlightRecorder // nil when no flight recorder is attached
 	inj *FaultInjector  // nil when no fault plan is attached
+	slo *SLOEvaluator   // nil when no SLO config is attached
 
 	// intent is the declarative desired-state store and its reconciler
 	// (see intent.go): Apply converges whole specs, and the imperative
@@ -313,6 +354,9 @@ func tracerFor(cfg Config) telemetry.Tracer {
 
 // NewSwitch builds a switch from cfg.
 func NewSwitch(cfg Config) (*Switch, error) {
+	if cfg.SLO != nil && cfg.Telemetry == nil {
+		return nil, errors.New("silkroad: Config.SLO requires Config.Telemetry")
+	}
 	tracer := tracerFor(cfg)
 	if cfg.Pipes > 1 {
 		pcfg := pipes.Config{
@@ -331,6 +375,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		s.rt = newRuntime(cfg.Clock, s)
 		s.attachIntent(tracer)
 		s.attachFaults(cfg, tracer)
+		s.attachSLO(cfg)
 		return s, nil
 	}
 	dcfg := cfg.Dataplane
@@ -350,8 +395,35 @@ func NewSwitch(cfg Config) (*Switch, error) {
 	s.rt = newRuntime(cfg.Clock, s)
 	s.attachIntent(tracer)
 	s.attachFaults(cfg, tracer)
+	s.attachSLO(cfg)
 	return s, nil
 }
+
+// attachSLO builds the SLO evaluator for Config.SLO (if any) and registers
+// it with the runtime, so evaluations fire in time order with all other
+// scheduled work under both Run and AdvanceTo. The evaluator reads only
+// the telemetry registry's atomic instruments — it never takes a pipe lock,
+// so evaluation cannot contend with ProcessBatch.
+func (s *Switch) attachSLO(cfg Config) {
+	if cfg.SLO == nil {
+		return
+	}
+	sc := *cfg.SLO
+	if sc.Journal == nil && cfg.FlightRecorder != nil {
+		sc.Journal = cfg.FlightRecorder.JournalSeq
+	}
+	if sc.MaxPipes == 0 && cfg.Pipes > 8 {
+		sc.MaxPipes = cfg.Pipes
+	}
+	s.slo = slo.New(cfg.Telemetry, s.Now(), sc)
+	s.rt.mu.Lock()
+	s.rt.sched.AddSource(s.slo)
+	s.rt.mu.Unlock()
+}
+
+// SLO returns the attached SLO evaluator, or nil when the switch was built
+// without one.
+func (s *Switch) SLO() *SLOEvaluator { return s.slo }
 
 // attachIntent builds the desired-state reconciler over the switch's raw
 // routing layer and registers its retry work with the runtime, so backoff
