@@ -158,3 +158,98 @@ func BenchmarkForwardRaw(b *testing.B) {
 func clientAddr(i int) netip.Addr {
 	return netip.AddrFrom4([4]byte{1, byte(i >> 16), byte(i >> 8), byte(i)})
 }
+
+// frameBenchSwitch primes a switch with established connections and
+// returns the pre-parsed wire frames for them (the tunnel's steady-state
+// currency: parse once, process many).
+func frameBenchSwitch(tb testing.TB, conns int) (*Switch, []Frame) {
+	tb.Helper()
+	sw, err := NewSwitch(Defaults(conns * 4))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vip := NewVIP("20.0.0.1", 80, TCP)
+	if err := sw.AddVIP(0, vip, Pool("10.0.0.1:20", "10.0.0.2:20", "10.0.0.3:20", "10.0.0.4:20")); err != nil {
+		tb.Fatal(err)
+	}
+	frames := make([]Frame, conns)
+	for i := range frames {
+		p := &Packet{
+			Tuple: FiveTuple{
+				Src: clientAddr(i), Dst: vip.Addr,
+				SrcPort: uint16(1024 + i%60000), DstPort: 80, Proto: TCP,
+			},
+			TCPFlags: netproto.FlagSYN,
+			Payload:  make([]byte, 64),
+		}
+		raw, err := p.Marshal(nil)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := ParseFrame(raw, &frames[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// Open every connection and let the insertions land, so the measured
+	// region is pure ConnTable hits.
+	sw.ProcessFrames(0, frames)
+	sw.Advance(Time(5 * Millisecond))
+	for i := range frames {
+		p := &Packet{
+			Tuple:    frames[i].Tuple,
+			TCPFlags: netproto.FlagACK,
+			Payload:  make([]byte, 64),
+		}
+		raw, err := p.Marshal(nil)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := ParseFrame(raw, &frames[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return sw, frames
+}
+
+// BenchmarkProcessFrames measures the wire-native batch path at steady
+// state: pre-parsed frames of established connections through
+// ProcessFramesInto. The acceptance bar is 0 allocs/packet.
+func BenchmarkProcessFrames(b *testing.B) {
+	const conns = 2048
+	sw, frames := frameBenchSwitch(b, conns)
+	results := make([]Result, conns)
+	var wire int64
+	for i := range frames {
+		wire += int64(len(frames[i].Data))
+	}
+	b.SetBytes(wire / int64(conns))
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := Time(10 * Millisecond)
+	for i := 0; i < b.N; i += conns {
+		sw.ProcessFramesInto(now, frames, results)
+		now = now.Add(Microsecond)
+	}
+}
+
+// TestProcessFramesZeroAlloc enforces the acceptance criterion directly:
+// the steady-state frames batch path performs zero allocations per batch.
+func TestProcessFramesZeroAlloc(t *testing.T) {
+	const conns = 512
+	sw, frames := frameBenchSwitch(t, conns)
+	results := make([]Result, conns)
+	now := Time(10 * Millisecond)
+	sw.ProcessFramesInto(now, frames, results) // warm any lazy state
+	allocs := testing.AllocsPerRun(50, func() {
+		now = now.Add(Microsecond)
+		sw.ProcessFramesInto(now, frames, results)
+	})
+	if allocs != 0 {
+		t.Fatalf("ProcessFramesInto allocated %.1f times per batch, want 0", allocs)
+	}
+	for i := range results {
+		if results[i].Verdict != VerdictForward || !results[i].ConnHit {
+			t.Fatalf("packet %d not a steady-state hit: %+v", i, results[i])
+		}
+	}
+}

@@ -204,6 +204,9 @@ func printPacketRecord(r silkroad.PacketRecord) {
 		if r.DIP != "" {
 			path = append(path, "dip="+r.DIP)
 		}
+		if r.Wire {
+			path = append(path, "wire")
+		}
 		fmt.Printf("  %12s  pipe%d  %-10s %s  (hash=%#x digest=%#x len=%dB)\n",
 			ts, r.Pipe, r.Verdict, strings.Join(path, " "), r.KeyHash, r.Digest, r.WireLen)
 	}

@@ -1,8 +1,9 @@
 // Command silkroadd runs a SilkRoad switch against real sockets: it
 // listens on a UDP port, treats each datagram's payload as a raw IPv4/IPv6
 // packet (the encapsulation a ToR would see), runs it through the SilkRoad
-// pipeline, rewrites the destination to the selected DIP, and forwards the
-// rewritten packet as a UDP datagram to that DIP.
+// pipeline on the wire-native frame path (silkroad.Tunnel: batched socket
+// reads, one parse per packet, in-place rewrite or IP-in-IP encap at TX),
+// and forwards to the chosen DIP as a UDP datagram.
 //
 // This is the "zero-to-forwarding" demo of the data path; production
 // deployment of the real system is a P4 program on an ASIC. The switch
@@ -29,7 +30,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"net/http"
 	"net/netip"
 	"os"
@@ -42,7 +42,6 @@ import (
 	"time"
 
 	silkroad "repro"
-	"repro/internal/netproto"
 )
 
 // buildVersion reports the binary's module version from the embedded build
@@ -103,6 +102,7 @@ func main() {
 	conns := flag.Int("conns", 1_000_000, "ConnTable provisioning")
 	mode := flag.String("mode", "rewrite", "forwarding mode: rewrite (DNAT) or ipip (encapsulate, DSR)")
 	selfAddr := flag.String("self", "192.0.2.1", "outer source address for -mode ipip")
+	batch := flag.Int("batch", 64, "max datagrams per socket read batch")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval")
 	metricsAddr := flag.String("metrics", "", "HTTP address serving Prometheus metrics at /metrics (e.g. :9090); empty disables")
 	debug := flag.Bool("debug", false, "serve /debug/silkroad/ (flight recorder, table dumps) and /debug/pprof/ on the -metrics listener")
@@ -172,21 +172,22 @@ func main() {
 			st.VIP, st.Condition, *mode, sw.SpecGeneration())
 	}
 
-	pc, err := net.ListenUDP("udp", mustUDPAddr(*listen))
+	tun, err := silkroad.NewTunnel(silkroad.TunnelConfig{
+		Switch:    sw,
+		Listen:    *listen,
+		Mode:      *mode,
+		Self:      self,
+		BatchSize: *batch,
+		Logf:      log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer pc.Close()
-	log.Printf("silkroadd: listening on %v", pc.LocalAddr())
-
-	out, err := net.ListenUDP("udp", nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer out.Close()
+	defer tun.Close()
+	log.Printf("silkroadd: listening on %v", tun.LocalAddr())
 
 	// Lifecycle: ctx is cancelled by SIGINT/SIGTERM. The event runtime, the
-	// metrics server and the socket read loop all key off it.
+	// metrics server and the tunnel loop all key off it.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -246,63 +247,10 @@ func main() {
 		}()
 	}
 
-	// Unblock the read loop when the context falls: closing the socket makes
-	// ReadFromUDP return net.ErrClosed.
-	go func() {
-		<-ctx.Done()
-		pc.Close()
-	}()
-
-	buf := make([]byte, 65536)
-	var decoded netproto.Packet
-	for {
-		n, _, err := pc.ReadFromUDP(buf)
-		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-				break
-			}
-			log.Printf("silkroadd: read: %v", err)
-			continue
-		}
-		pkt := buf[:n]
-		if err := netproto.Decode(pkt, &decoded); err != nil {
-			log.Printf("silkroadd: undecodable packet (%d B): %v", n, err)
-			continue
-		}
-		var (
-			dip     silkroad.DIP
-			payload []byte
-		)
-		now := sw.Now()
-		if *mode == "ipip" {
-			payload, dip, err = sw.ForwardIPIP(now, pkt, self)
-		} else {
-			dip, err = sw.Forward(now, pkt)
-			payload = pkt
-		}
-		if err != nil {
-			// Expected data-path failures carry package sentinels; anything
-			// else is a real fault and logged at full detail.
-			switch {
-			case errors.Is(err, silkroad.ErrNotVIP):
-				log.Printf("silkroadd: drop: %v", err)
-			case errors.Is(err, silkroad.ErrMeterDrop):
-				// Meter drops are the isolation mechanism working as designed
-				// under overload; keep the log line terse.
-				log.Printf("silkroadd: meter drop for %v", decoded.Tuple.Dst)
-			case errors.Is(err, silkroad.ErrNoBackend):
-				log.Printf("silkroadd: drop (pool empty): %v", err)
-			case errors.Is(err, silkroad.ErrUndecodable):
-				log.Printf("silkroadd: undecodable payload (%d B): %v", n, err)
-			default:
-				log.Printf("silkroadd: forward error: %v", err)
-			}
-			continue
-		}
-		dst := net.UDPAddrFromAddrPort(dip)
-		if _, err := out.WriteToUDP(payload, dst); err != nil {
-			log.Printf("silkroadd: forward to %v: %v", dip, err)
-		}
+	// The tunnel loop: batched reads feeding ProcessFrames, in-place
+	// rewrite or encap at TX. Blocks until the context falls.
+	if err := tun.Run(ctx); err != nil {
+		log.Printf("silkroadd: tunnel: %v", err)
 	}
 
 	// Graceful shutdown: stop periodic work, wait for the runtime's final
@@ -321,18 +269,11 @@ func main() {
 		cancel()
 	}
 	st := sw.Stats()
-	fmt.Printf("final stats: packets=%d hits=%d misses=%d inserted=%d conns=%d\n",
+	ts := tun.Stats()
+	fmt.Printf("final stats: packets=%d hits=%d misses=%d inserted=%d conns=%d rx=%d fwd=%d drop=%d\n",
 		st.Dataplane.Packets, st.Dataplane.ConnHits, st.Dataplane.ConnMisses,
-		st.Controlplane.Inserted, st.Connections)
+		st.Controlplane.Inserted, st.Connections, ts.RxPackets, ts.Forwarded, ts.Dropped)
 	if err := silkroad.WritePrometheus(os.Stdout, telemetry.Snapshot(sw.Now())); err != nil {
 		log.Printf("silkroadd: final metrics snapshot: %v", err)
 	}
-}
-
-func mustUDPAddr(s string) *net.UDPAddr {
-	a, err := net.ResolveUDPAddr("udp", s)
-	if err != nil {
-		log.Fatalf("silkroadd: bad -listen: %v", err)
-	}
-	return a
 }

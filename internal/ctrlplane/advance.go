@@ -295,11 +295,18 @@ func (cp *ControlPlane) HandleResult(now simtime.Time, pkt *netproto.Packet, res
 // slot without copying the Result through the call chain; redirects — rare
 // by construction — still take the value-based resolvers.
 func (cp *ControlPlane) HandleResultInto(now simtime.Time, pkt *netproto.Packet, res *dataplane.Result) {
+	cp.HandleTupleResultInto(now, pkt.Tuple, res)
+}
+
+// HandleTupleResultInto is the currency-neutral core of HandleResultInto:
+// the CPU side only ever needs the packet's five-tuple, so the frame path
+// calls it directly without materializing a Packet struct.
+func (cp *ControlPlane) HandleTupleResultInto(now simtime.Time, tuple netproto.FiveTuple, res *dataplane.Result) {
 	switch res.Verdict {
 	case dataplane.VerdictRedirectSYNConn:
-		*res = cp.resolveConnSYN(now, pkt, *res)
+		*res = cp.resolveConnSYN(now, tuple, *res)
 	case dataplane.VerdictRedirectSYNTransit:
-		*res = cp.resolveTransitSYN(now, pkt, *res)
+		*res = cp.resolveTransitSYN(now, tuple, *res)
 	case dataplane.VerdictForward:
 		// lastSeen only feeds the aging wheel; with aging disabled the
 		// shadow lookup would be pure per-packet overhead on the hot path.
@@ -315,8 +322,8 @@ func (cp *ControlPlane) HandleResultInto(now simtime.Time, pkt *netproto.Packet,
 // digest false positive (relocate the old entry, install this connection's
 // own entry, and re-inject) or a retransmitted SYN of a known connection
 // (forward as-is).
-func (cp *ControlPlane) resolveConnSYN(now simtime.Time, pkt *netproto.Packet, res dataplane.Result) dataplane.Result {
-	fixed, err := cp.sw.ResolveSYNCollisionAt(now, pkt.Tuple, res)
+func (cp *ControlPlane) resolveConnSYN(now simtime.Time, tuple netproto.FiveTuple, res dataplane.Result) dataplane.Result {
+	fixed, err := cp.sw.ResolveSYNCollisionAt(now, tuple, res)
 	if err != nil {
 		// Could not separate the keys (table pathologically full): fall
 		// back to forwarding by the matched entry.
@@ -337,7 +344,7 @@ func (cp *ControlPlane) resolveConnSYN(now simtime.Time, pkt *netproto.Packet, r
 	// re-injected and hits the right entry.
 	cp.metrics.DigestFPsResolved++
 	cp.chargeCPU(now)
-	vip := dataplane.VIPOf(pkt.Tuple)
+	vip := dataplane.VIPOf(tuple)
 	vc, ok := cp.vips[vip]
 	if !ok {
 		res.Verdict = dataplane.VerdictForward
@@ -350,7 +357,7 @@ func (cp *ControlPlane) resolveConnSYN(now simtime.Time, pkt *netproto.Packet, r
 	if pv, pending := cp.pendingVersion(res.KeyHash); pending {
 		ver = pv
 	}
-	return cp.installInline(now, pkt.Tuple, res, vc, ver, telemetry.InsertDigestFP)
+	return cp.installInline(now, tuple, res, vc, ver, telemetry.InsertDigestFP)
 }
 
 // pendingVersion returns the learned-but-not-yet-installed version for a
@@ -409,8 +416,8 @@ func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple
 // step 2. The software's shadow tells the truth: a known pending
 // connection's retransmitted SYN keeps the old version; an unknown
 // connection is a bloom false positive and must use the current version.
-func (cp *ControlPlane) resolveTransitSYN(now simtime.Time, pkt *netproto.Packet, res dataplane.Result) dataplane.Result {
-	vip := dataplane.VIPOf(pkt.Tuple)
+func (cp *ControlPlane) resolveTransitSYN(now simtime.Time, tuple netproto.FiveTuple, res dataplane.Result) dataplane.Result {
+	vip := dataplane.VIPOf(tuple)
 	vc, ok := cp.vips[vip]
 	if !ok {
 		return res
@@ -429,7 +436,7 @@ func (cp *ControlPlane) resolveTransitSYN(now simtime.Time, pkt *netproto.Packet
 		cp.metrics.RetransmittedSYNs++
 		res.Verdict = dataplane.VerdictForward
 		res.Version = ver
-		if dip, err := cp.sw.SelectDIP(vip, ver, pkt.Tuple); err == nil {
+		if dip, err := cp.sw.SelectDIP(vip, ver, tuple); err == nil {
 			res.DIP = dip
 		}
 		if !res.DIP.IsValid() {
@@ -442,7 +449,7 @@ func (cp *ControlPlane) resolveTransitSYN(now simtime.Time, pkt *netproto.Packet
 	cp.metrics.BloomFPsResolved++
 	cp.chargeCPU(now)
 	res.TransitHit = false
-	return cp.installInline(now, pkt.Tuple, res, vc, vc.curVer, telemetry.InsertBloomFP)
+	return cp.installInline(now, tuple, res, vc, vc.curVer, telemetry.InsertBloomFP)
 }
 
 // chargeCPU accounts one out-of-band insertion's worth of CPU time.

@@ -461,7 +461,9 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 	if s.cfg.DerivedHashes {
 		lane = netproto.LaneHash(s.cfg.LaneSeed, &pkt.Tuple)
 	}
-	return s.run(now, pkt, lane)
+	var res Result
+	s.runInto(now, pkt, lane, &res)
+	return res
 }
 
 // ProcessLane is Process for callers that already computed the packet's
@@ -470,7 +472,9 @@ func (s *Switch) Process(now simtime.Time, pkt *netproto.Packet) Result {
 // the tuple again. lane must equal netproto.LaneHash(Config.LaneSeed,
 // &pkt.Tuple); it is ignored unless Config.DerivedHashes is set.
 func (s *Switch) ProcessLane(now simtime.Time, pkt *netproto.Packet, lane uint64) Result {
-	return s.run(now, pkt, lane)
+	var res Result
+	s.runInto(now, pkt, lane, &res)
+	return res
 }
 
 // ProcessLaneInto is ProcessLane writing the decision into *out instead of
@@ -481,14 +485,46 @@ func (s *Switch) ProcessLaneInto(now simtime.Time, pkt *netproto.Packet, lane ui
 	s.runInto(now, pkt, lane, out)
 }
 
-func (s *Switch) run(now simtime.Time, pkt *netproto.Packet, lane uint64) Result {
+// ProcessFrame runs one parsed wire frame through the pipeline. It is
+// Process on the bytes-native currency: the five-tuple, flags and lane
+// hash come from the frame's single parse pass, and the meter charges the
+// frame's actual on-the-wire length rather than a canonical-framing
+// reconstruction.
+func (s *Switch) ProcessFrame(now simtime.Time, f *netproto.Frame) Result {
+	var lane uint64
+	if s.cfg.DerivedHashes {
+		lane = f.LaneHash(s.cfg.LaneSeed)
+	}
 	var res Result
-	s.runInto(now, pkt, lane, &res)
+	s.frameInto(now, f, lane, &res)
 	return res
 }
 
+// ProcessFrameInto is ProcessFrame for the multi-pipe batch path: the lane
+// hash was already taken from the frame to pick the pipe and is passed
+// down, and the decision is written into *out in place. lane is ignored
+// unless Config.DerivedHashes is set.
+func (s *Switch) ProcessFrameInto(now simtime.Time, f *netproto.Frame, lane uint64, out *Result) {
+	s.frameInto(now, f, lane, out)
+}
+
+// runInto is the struct-currency entry: it feeds the shared pipeline core
+// with the packet's fields and its canonical WireLen.
 func (s *Switch) runInto(now simtime.Time, pkt *netproto.Packet, lane uint64, res *Result) {
-	vs := s.process(now, pkt, lane, res)
+	s.pipelineInto(now, &pkt.Tuple, pkt.TCPFlags, pkt.WireLen(), lane, false, res)
+}
+
+// frameInto is the wire-currency entry: same core, actual frame length.
+func (s *Switch) frameInto(now simtime.Time, f *netproto.Frame, lane uint64, res *Result) {
+	s.pipelineInto(now, &f.Tuple, f.TCPFlags, f.WireLen(), lane, true, res)
+}
+
+// pipelineInto runs the pipeline body and emits the telemetry event. Both
+// packet currencies (decoded structs and wire frames) funnel through here,
+// so verdicts, hashes, metering and tracing cannot diverge between them;
+// wire marks frame-path packets in the emitted telemetry.
+func (s *Switch) pipelineInto(now simtime.Time, tuple *netproto.FiveTuple, tcpFlags uint8, wireLen int, lane uint64, wire bool, res *Result) {
+	vs := s.process(now, tuple, tcpFlags, wireLen, lane, res)
 	if s.tracer != nil {
 		var tel *telemetry.VIPSeries
 		if vs != nil {
@@ -496,7 +532,7 @@ func (s *Switch) runInto(now simtime.Time, pkt *netproto.Packet, lane uint64, re
 		}
 		if res.Verdict == VerdictMeterDrop {
 			s.tracer.OnMeterDrop(telemetry.MeterDropEvent{
-				Now: now, Pipe: s.pipe, VIP: tel, WireLen: pkt.WireLen(),
+				Now: now, Pipe: s.pipe, VIP: tel, WireLen: wireLen,
 			})
 		}
 		stage := -1
@@ -512,10 +548,11 @@ func (s *Switch) runInto(now simtime.Time, pkt *netproto.Packet, lane uint64, re
 			Pipe:       s.pipe,
 			VIP:        tel,
 			Verdict:    telemetry.Verdict(res.Verdict),
-			WireLen:    pkt.WireLen(),
+			WireLen:    wireLen,
+			Wire:       wire,
 			ConnHit:    res.ConnHit,
 			Learned:    res.Learned,
-			Tuple:      pkt.Tuple,
+			Tuple:      *tuple,
 			KeyHash:    res.KeyHash,
 			Digest:     res.Digest,
 			Version:    res.Version,
@@ -527,13 +564,18 @@ func (s *Switch) runInto(now simtime.Time, pkt *netproto.Packet, lane uint64, re
 	}
 }
 
+// isSYN reports a bare SYN (connection-opening) flag set.
+func isSYN(tcpFlags uint8) bool {
+	return tcpFlags&netproto.FlagSYN != 0 && tcpFlags&netproto.FlagACK == 0
+}
+
 // process is the pipeline body, writing the forwarding decision into *res
 // (whose previous contents are overwritten). It returns the matched VIP
 // state so the tracing wrapper can label the event without a second map
 // lookup.
-func (s *Switch) process(now simtime.Time, pkt *netproto.Packet, lane uint64, res *Result) *vipState {
+func (s *Switch) process(now simtime.Time, tuple *netproto.FiveTuple, tcpFlags uint8, wireLen int, lane uint64, res *Result) *vipState {
 	s.stats.Packets++
-	vip := VIPOf(pkt.Tuple)
+	vip := VIPOf(*tuple)
 	vs := s.lastVS
 	if vs == nil || vs.vip != vip {
 		var ok bool
@@ -548,7 +590,7 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet, lane uint64, re
 	var meterColor regarray.Color
 	metered := vs.meter != nil
 	if metered {
-		meterColor = vs.meter.Mark(now, pkt.WireLen())
+		meterColor = vs.meter.Mark(now, wireLen)
 		if meterColor == regarray.Red {
 			s.stats.MeterDrops++
 			*res = Result{Verdict: VerdictMeterDrop, Metered: true, Meter: meterColor}
@@ -561,8 +603,8 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet, lane uint64, re
 		keyHash = hashing.HashUint64(s.connSeed, lane)
 		digest = hashing.DigestUint64(s.digestSeed, s.cfg.DigestBits, lane)
 	} else {
-		keyHash = s.KeyHash(pkt.Tuple)
-		digest = s.ConnDigest(pkt.Tuple)
+		keyHash = s.KeyHash(*tuple)
+		digest = s.ConnDigest(*tuple)
 	}
 	*res = Result{KeyHash: keyHash, Digest: digest, Metered: metered, Meter: meterColor}
 
@@ -579,7 +621,7 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet, lane uint64, re
 			res.Verdict = VerdictNoBackend
 			return vs
 		}
-		if pkt.IsSYN() {
+		if isSYN(tcpFlags) {
 			// A connection-opening packet should miss; a hit suggests a
 			// digest false positive (or a retransmitted SYN of a pending
 			// connection). The CPU arbitrates using its 5-tuple shadow.
@@ -601,7 +643,7 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet, lane uint64, re
 			res.TransitHit = true
 			ver = vs.oldVer
 			s.stats.ForwardedOldVersion++
-			if pkt.IsSYN() {
+			if isSYN(tcpFlags) {
 				// A new connection cannot be pending; suspected bloom
 				// false positive — CPU arbitrates (§4.3).
 				s.stats.SYNRedirectTransit++
@@ -642,7 +684,7 @@ func (s *Switch) process(now simtime.Time, pkt *netproto.Packet, lane uint64, re
 	}
 	// Trigger learning: the CPU will install keyHash -> ver.
 	if s.learn.Offer(learnfilter.Event{
-		Tuple:   pkt.Tuple,
+		Tuple:   *tuple,
 		KeyHash: keyHash,
 		Digest:  digest,
 		VIPID:   vs.id,

@@ -35,6 +35,12 @@ type PipesBenchConfig struct {
 	// drained before the timer starts, so the figure is the steady-state
 	// batch-path rate, not a mix of handshakes and table churn.
 	WallclockPPS float64 `json:"wallclock_pps"`
+	// FramesPPS is the same steady-state measurement over the wire-native
+	// path: the identical connections pre-marshaled to raw bytes and
+	// pre-parsed once, then swept through ProcessFramesInto. Parsing stays
+	// outside the timed region (the tunnel parses each packet exactly once
+	// on receive), so this is the frame currency's per-packet table cost.
+	FramesPPS float64 `json:"frames_pps,omitempty"`
 }
 
 // PipesTrendPoint is one recorded run of the benchmark: the wallclock
@@ -47,6 +53,12 @@ type PipesTrendPoint struct {
 	OnePipePPS      float64 `json:"one_pipe_pps"`
 	FourPipePPS     float64 `json:"four_pipe_pps"`
 	WallclockSpeedX float64 `json:"wallclock_speedup"`
+	// FourPipeFramesPPS and FramesVsStructX record the wire-native path at
+	// 4 pipes: its absolute rate and its ratio to the struct path on the
+	// same run (the frames gate's series). Zero on points recorded before
+	// the frame path existed.
+	FourPipeFramesPPS float64 `json:"four_pipe_frames_pps,omitempty"`
+	FramesVsStructX   float64 `json:"frames_vs_struct,omitempty"`
 }
 
 // maxTrajectory bounds how many trend points the artifact keeps (oldest
@@ -62,6 +74,12 @@ type PipesBenchResult struct {
 	Configs         []PipesBenchConfig `json:"configs"`
 	ModeledSpeedup  float64            `json:"modeled_speedup"`
 	WallclockSpeedX float64            `json:"wallclock_speedup"`
+	// FramesVsStructX is frames-mode wallclock pps over struct-mode
+	// wallclock pps at 4 pipes for this run. The frame path skips the
+	// per-batch tuple hashing the struct path pays (frames carry their lane
+	// hash from the single parse), so this is expected to sit at or above
+	// 1.0; GatePipes fails a run where it falls below 0.9.
+	FramesVsStructX float64 `json:"frames_vs_struct,omitempty"`
 	// Trajectory carries this run's point appended to the points recorded
 	// by previous runs (read back from the existing artifact, if any).
 	Trajectory []PipesTrendPoint `json:"trajectory,omitempty"`
@@ -71,9 +89,10 @@ const pipesBenchNote = "modeled_pps is the aggregate throughput under the ASIC m
 	"forwards its shard at the per-pipe line rate (1e9 pps), so the chip-level rate is " +
 	"total_packets / max_pipe_packets x line rate. wallclock_pps measures this simulator's " +
 	"steady-state batch path on the build host (established traffic only; priming and drains " +
-	"untimed). wallclock_speedup = 4-pipe pps / 1-pipe pps is the gated headline: it tracks " +
-	"whether the persistent-worker batch path actually beats the single-pipe loop, and the " +
-	"trajectory records it per run so CI can fail on a ratio regression."
+	"untimed); frames_pps is the same measurement over the wire-native path (pre-parsed raw " +
+	"frames through ProcessFramesInto). wallclock_speedup = 4-pipe pps / 1-pipe pps and " +
+	"frames_vs_struct = 4-pipe frames pps / struct pps are the gated headlines; the " +
+	"trajectory records both per run so CI can fail on a ratio regression."
 
 // pipesMetrics is the METRICS_pipes.json payload: one telemetry snapshot
 // per benchmarked pipe count, taken at end of run in virtual time.
@@ -101,6 +120,31 @@ func pipesBenchPackets(conns int) []*netproto.Packet {
 		pkts[i] = &backing[i]
 	}
 	return pkts
+}
+
+// pipesBenchFrames materializes the same connections as raw wire bytes
+// parsed into frames, all outside the timed region — the tunnel parses
+// each received packet exactly once, so the frames measurement charges
+// only the table path, like the struct measurement does.
+func pipesBenchFrames(pkts []*netproto.Packet) ([]netproto.Frame, error) {
+	var arena, scratch []byte
+	offs := make([]int, len(pkts)+1)
+	for i, p := range pkts {
+		raw, err := p.Marshal(scratch)
+		if err != nil {
+			return nil, fmt.Errorf("pipes bench: marshal conn %d: %w", i, err)
+		}
+		scratch = raw
+		arena = append(arena, raw...)
+		offs[i+1] = len(arena)
+	}
+	frames := make([]netproto.Frame, len(pkts))
+	for i := range frames {
+		if err := netproto.ParseFrame(arena[offs[i]:offs[i+1]:offs[i+1]], &frames[i]); err != nil {
+			return nil, fmt.Errorf("pipes bench: reparse conn %d: %w", i, err)
+		}
+	}
+	return frames, nil
 }
 
 // runPipesConfig drives one engine through the benchmark workload and
@@ -194,6 +238,37 @@ func runPipesConfig(nPipes, conns, measurePasses, batchSize int, seed int64) (Pi
 			}
 		}
 	}
+
+	// Frames mode: the identical established connections as pre-parsed wire
+	// frames through ProcessFramesInto, timed the same way (best of three
+	// repetitions). The connections are already resident, so both modes
+	// measure pure ConnTable hits on the same switch state.
+	frames, err := pipesBenchFrames(pkts)
+	if err != nil {
+		return PipesBenchConfig{}, nil, err
+	}
+	var bestFramesPPS float64
+	for rep := 0; rep < measureReps; rep++ {
+		before := eng.Stats().Dataplane.Packets
+		start := time.Now()
+		for pass := 0; pass < measurePasses; pass++ {
+			for off := 0; off < conns; off += batchSize {
+				end := off + batchSize
+				if end > conns {
+					end = conns
+				}
+				eng.ProcessFramesInto(now, frames[off:end], results)
+				now = now.Add(simtime.Duration(simtime.Microsecond))
+				eng.Advance(now)
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		if done := eng.Stats().Dataplane.Packets - before; elapsed > 0 && done > 0 {
+			if pps := float64(done) / elapsed; pps > bestFramesPPS {
+				bestFramesPPS = pps
+			}
+		}
+	}
 	st := eng.Stats()
 
 	var maxPipe uint64
@@ -212,6 +287,7 @@ func runPipesConfig(nPipes, conns, measurePasses, batchSize int, seed int64) (Pi
 		row.ModeledPPS = float64(st.Dataplane.Packets) / float64(maxPipe) * perPipePacketRate
 	}
 	row.WallclockPPS = bestPPS
+	row.FramesPPS = bestFramesPPS
 	var snap *telemetry.Snapshot
 	if reg != nil {
 		s := reg.Snapshot(now)
@@ -260,12 +336,21 @@ func priorTrajectory() []PipesTrendPoint {
 // ratio rather than raw pps keeps the gate stable across build hosts of
 // different speeds; comparing at equal scale keeps it honest across
 // workload sizes. With no comparable history the gate passes.
+//
+// It also gates the wire-native path within the run itself: frames-mode
+// wallclock pps at 4 pipes must stay at or above 90% of struct-mode pps
+// (the two modes sweep the same resident connections, so the ratio is
+// host-independent; the 10% band absorbs timer jitter).
 func GatePipes(res PipesBenchResult) error {
 	n := len(res.Trajectory)
 	if n == 0 {
 		return nil
 	}
 	cur := res.Trajectory[n-1]
+	if cur.FramesVsStructX > 0 && cur.FramesVsStructX < 0.9 {
+		return fmt.Errorf("pipes perf gate: frames-mode wallclock is %.2fx of struct mode at 4 pipes, floor is 0.90x",
+			cur.FramesVsStructX)
+	}
 	for i := n - 2; i >= 0; i-- {
 		prev := res.Trajectory[i]
 		if prev.Scale != cur.Scale || prev.WallclockSpeedX <= 0 {
@@ -322,27 +407,33 @@ func PipesBench(scale float64, seed int64) (*Report, error) {
 	if one.WallclockPPS > 0 {
 		result.WallclockSpeedX = four.WallclockPPS / one.WallclockPPS
 	}
+	if four.WallclockPPS > 0 {
+		result.FramesVsStructX = four.FramesPPS / four.WallclockPPS
+	}
 	result.Trajectory = append(priorTrajectory(), PipesTrendPoint{
-		When:            time.Now().UTC().Format(time.RFC3339),
-		Scale:           scale,
-		OnePipePPS:      one.WallclockPPS,
-		FourPipePPS:     four.WallclockPPS,
-		WallclockSpeedX: result.WallclockSpeedX,
+		When:              time.Now().UTC().Format(time.RFC3339),
+		Scale:             scale,
+		OnePipePPS:        one.WallclockPPS,
+		FourPipePPS:       four.WallclockPPS,
+		WallclockSpeedX:   result.WallclockSpeedX,
+		FourPipeFramesPPS: four.FramesPPS,
+		FramesVsStructX:   result.FramesVsStructX,
 	})
 	if len(result.Trajectory) > maxTrajectory {
 		result.Trajectory = result.Trajectory[len(result.Trajectory)-maxTrajectory:]
 	}
 
 	rep := &Report{ID: "pipes", Title: "Multi-pipe aggregate throughput (1 vs 4 pipes)"}
-	rep.Printf("%-7s %12s %14s %16s  %s", "pipes", "packets", "modeled pps", "wallclock pps", "per-pipe packets")
+	rep.Printf("%-7s %12s %14s %16s %14s  %s", "pipes", "packets", "modeled pps", "wallclock pps", "frames pps", "per-pipe packets")
 	for _, c := range result.Configs {
-		rep.Printf("%-7d %12d %14.3g %16.3g  %v", c.Pipes, c.Packets, c.ModeledPPS, c.WallclockPPS, c.PipePackets)
+		rep.Printf("%-7d %12d %14.3g %16.3g %14.3g  %v", c.Pipes, c.Packets, c.ModeledPPS, c.WallclockPPS, c.FramesPPS, c.PipePackets)
 	}
 	rep.Printf("modeled speedup  %.2fx (line-rate model; shard balance bound)", result.ModeledSpeedup)
 	rep.Printf("wallclock speedup %.2fx (steady-state batch path on this host — gated)", result.WallclockSpeedX)
+	rep.Printf("frames vs struct  %.2fx at 4 pipes (wire-native path — gated, floor 0.90x)", result.FramesVsStructX)
 	for _, pt := range result.Trajectory {
-		rep.Printf("trajectory %-28s scale %-6g 1-pipe %10.3g  4-pipe %10.3g  speedup %.2fx",
-			pt.When, pt.Scale, pt.OnePipePPS, pt.FourPipePPS, pt.WallclockSpeedX)
+		rep.Printf("trajectory %-28s scale %-6g 1-pipe %10.3g  4-pipe %10.3g  speedup %.2fx  frames %.2fx",
+			pt.When, pt.Scale, pt.OnePipePPS, pt.FourPipePPS, pt.WallclockSpeedX, pt.FramesVsStructX)
 	}
 
 	art, err := json.MarshalIndent(result, "", "  ")

@@ -65,6 +65,7 @@ type PacketRecord struct {
 	Flow    string             `json:"flow"`    // tuple rendered for JSON
 	Verdict string             `json:"verdict"` // verdict or insert outcome
 	WireLen int                `json:"wire_len,omitempty"`
+	Wire    bool               `json:"wire,omitempty"` // raw wire bytes (frame path), not a synthetic struct
 
 	// Pipeline path annotations (KindVerdict).
 	ConnHit    bool   `json:"conn_hit"`
@@ -376,6 +377,7 @@ func (r *Recorder) OnVerdict(e telemetry.VerdictEvent) {
 			Flow:       e.Tuple.String(),
 			Verdict:    e.Verdict.String(),
 			WireLen:    e.WireLen,
+			Wire:       e.Wire,
 			ConnHit:    e.ConnHit,
 			Stage:      e.Stage,
 			TransitHit: e.TransitHit,

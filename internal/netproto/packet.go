@@ -269,32 +269,14 @@ func decodeL4(data []byte, p *Packet) error {
 // place to dip (the DIP chosen by the load balancer), fixing checksums.
 // This is the forwarding action the SilkRoad ASIC applies. The address
 // family of dip must match the packet's.
+//
+// Callers holding a parsed Frame should use Frame.RewriteDst directly —
+// this form is for raw buffers with no frame in hand and pays one parse
+// pass to recover the offsets.
 func RewriteDst(pkt []byte, dip netip.AddrPort) error {
-	var p Packet
-	if err := Decode(pkt, &p); err != nil {
+	var f Frame
+	if err := ParseFrame(pkt, &f); err != nil {
 		return err
 	}
-	if dip.Addr().Is4() != p.Tuple.Dst.Is4() {
-		return fmt.Errorf("netproto: address family mismatch rewriting to %v", dip)
-	}
-	var l4start int
-	if p.Tuple.Dst.Is4() {
-		ihl := int(pkt[0]&0x0f) * 4
-		b := dip.Addr().As4()
-		copy(pkt[16:20], b[:])
-		// Recompute IPv4 header checksum.
-		pkt[10], pkt[11] = 0, 0
-		binary.BigEndian.PutUint16(pkt[10:], checksum(pkt[:ihl], 0))
-		l4start = ihl
-	} else {
-		b := dip.Addr().As16()
-		copy(pkt[24:40], b[:])
-		l4start = 40
-	}
-	// Rewrite destination port.
-	binary.BigEndian.PutUint16(pkt[l4start+2:], dip.Port())
-	p.Tuple.Dst = dip.Addr()
-	p.Tuple.DstPort = dip.Port()
-	fillL4Checksum(pkt, p.Tuple, l4start)
-	return nil
+	return f.RewriteDst(dip)
 }

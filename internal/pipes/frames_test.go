@@ -1,0 +1,137 @@
+package pipes
+
+// Tests for the wire-native batch path: frames through the persistent
+// worker rings must behave exactly like structs through ProcessBatch, and
+// the steady-state frames sweep must not allocate.
+
+import (
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+// framesN materializes frames for connections [0, n): each tuple marshaled
+// to wire bytes and parsed once, like the tunnel's receive path.
+func framesN(t *testing.T, n int, flags uint8) []netproto.Frame {
+	t.Helper()
+	frames := make([]netproto.Frame, n)
+	var arena, scratch []byte
+	offs := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		p := netproto.Packet{Tuple: tupleN(i), TCPFlags: flags}
+		raw, err := p.Marshal(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = raw
+		arena = append(arena, raw...)
+		offs[i+1] = len(arena)
+	}
+	for i := 0; i < n; i++ {
+		if err := netproto.ParseFrame(arena[offs[i]:offs[i+1]:offs[i+1]], &frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return frames
+}
+
+// TestFramesBatchMatchesStructBatch runs the same workload — SYN round,
+// established rounds, a DIP pool update in the middle — through a frames
+// engine and a structs twin. Every packet must get the identical verdict,
+// DIP and version: the wire currency and the struct currency are two entry
+// points into one pipeline, never two pipelines.
+func TestFramesBatchMatchesStructBatch(t *testing.T) {
+	framesEng := newTestEngine(t, 4, 10000)
+	structEng := newTestEngine(t, 4, 10000)
+	const conns = 300
+	now := simtime.Time(0)
+	results := make([]dataplane.Result, conns)
+	for round := 0; round < 6; round++ {
+		flags := netproto.FlagACK
+		if round == 0 {
+			flags = netproto.FlagSYN
+		}
+		frames := framesN(t, conns, flags)
+		pkts := make([]*netproto.Packet, conns)
+		for i := 0; i < conns; i++ {
+			pkts[i] = &netproto.Packet{Tuple: tupleN(i), TCPFlags: flags}
+		}
+		framesEng.ProcessFramesInto(now, frames, results)
+		want := structEng.ProcessBatch(now, pkts)
+		for i := range results {
+			if results[i].Verdict != want[i].Verdict || results[i].DIP != want[i].DIP ||
+				results[i].Version != want[i].Version {
+				t.Fatalf("round %d packet %d: frames %+v, structs %+v", round, i, results[i], want[i])
+			}
+		}
+		if round == 2 {
+			// Shrink the pool mid-workload on both engines: the frame path
+			// must ride the 3-step update identically.
+			if err := framesEng.RemoveDIP(now, testVIP(), testPool(8)[7]); err != nil {
+				t.Fatal(err)
+			}
+			if err := structEng.RemoveDIP(now, testVIP(), testPool(8)[7]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		now = now.Add(simtime.Duration(simtime.Second))
+		framesEng.Advance(now)
+		structEng.Advance(now)
+	}
+	// Both engines must have sharded identically (same seeds, same lanes).
+	fs, ss := framesEng.Stats(), structEng.Stats()
+	for pi := range fs.PipePackets {
+		if fs.PipePackets[pi] != ss.PipePackets[pi] {
+			t.Fatalf("pipe %d: frames engine %d packets, struct engine %d — shard divergence",
+				pi, fs.PipePackets[pi], ss.PipePackets[pi])
+		}
+	}
+}
+
+// TestEngineProcessFrameSingle covers the one-at-a-time frame entry point:
+// it must pin connections to the same pipe as the batch path.
+func TestEngineProcessFrameSingle(t *testing.T) {
+	e := newTestEngine(t, 4, 10000)
+	now := simtime.Time(0)
+	syn := framesN(t, 64, netproto.FlagSYN)
+	for i := range syn {
+		if res := e.ProcessFrame(now, &syn[i]); res.Verdict != dataplane.VerdictForward {
+			t.Fatalf("SYN %d: %v", i, res.Verdict)
+		}
+	}
+	now = now.Add(simtime.Duration(10 * simtime.Second))
+	e.Advance(now)
+	ack := framesN(t, 64, netproto.FlagACK)
+	for i := range ack {
+		res := e.ProcessFrame(now, &ack[i])
+		if res.Verdict != dataplane.VerdictForward || !res.ConnHit {
+			t.Fatalf("ACK %d not a ConnTable hit: %+v", i, res)
+		}
+	}
+	if got := e.Stats().Connections; got != 64 {
+		t.Fatalf("connections = %d, want 64", got)
+	}
+}
+
+// TestFramesBatchSteadyStateAllocs guards the wire path's allocation-free
+// claim through the worker rings: established frames swept with
+// ProcessFramesInto must allocate nothing.
+func TestFramesBatchSteadyStateAllocs(t *testing.T) {
+	e := newTestEngine(t, 4, 10000)
+	const conns = 256
+	now := simtime.Time(0)
+	e.ProcessFrames(now, framesN(t, conns, netproto.FlagSYN))
+	now = now.Add(simtime.Duration(10 * simtime.Second))
+	e.Advance(now)
+	frames := framesN(t, conns, netproto.FlagACK)
+	results := make([]dataplane.Result, conns)
+	e.ProcessFramesInto(now, frames, results) // warm the reusable buffers
+	avg := testing.AllocsPerRun(20, func() {
+		e.ProcessFramesInto(now, frames, results)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state frames batch allocates %.1f times per %d packets, want 0", avg, conns)
+	}
+}

@@ -237,12 +237,35 @@ func (p *pipe) process(now simtime.Time, pkt *netproto.Packet) dataplane.Result 
 	return p.cp.HandleResult(now, pkt, res)
 }
 
+// processFrame runs one wire frame on pipe p. Callers hold p.mu.
+func (p *pipe) processFrame(now simtime.Time, f *netproto.Frame) dataplane.Result {
+	p.cp.Advance(now)
+	res := p.dp.ProcessFrame(now, f)
+	p.processed++
+	p.cp.HandleTupleResultInto(now, f.Tuple, &res)
+	return res
+}
+
 // Process runs one packet through its owning pipe.
 func (e *Engine) Process(now simtime.Time, pkt *netproto.Packet) dataplane.Result {
 	p := e.pipes[e.PipeOf(pkt.Tuple)]
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.process(now, pkt)
+}
+
+// ProcessFrame runs one wire frame through its owning pipe. The frame's
+// cached lane hash doubles as the shard key, so the tuple is hashed at most
+// once across sharding and pipeline.
+func (e *Engine) ProcessFrame(now simtime.Time, f *netproto.Frame) dataplane.Result {
+	pi := 0
+	if len(e.pipes) > 1 {
+		pi = int(hashing.HashUint64(e.seed, f.LaneHash(e.laneSeed)) % uint64(len(e.pipes)))
+	}
+	p := e.pipes[pi]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.processFrame(now, f)
 }
 
 // ProcessBatch runs a batch of packets through the chip: packets are
@@ -278,30 +301,85 @@ func (e *Engine) ProcessBatchInto(now simtime.Time, pkts []*netproto.Packet, res
 	}
 	e.batchMu.Lock()
 	defer e.batchMu.Unlock()
+	// Scatter: one lane hash per packet feeds both the pipe choice and —
+	// via ProcessLane — the pipe's key hash and digest, so the tuple is
+	// hashed exactly once on this path. Index lists preserve arrival order
+	// within a pipe.
+	lanes := e.shard(len(pkts), func(i int) uint64 {
+		return netproto.LaneHash(e.laneSeed, &pkts[i].Tuple)
+	})
+	e.runShards(now, pkts, nil, lanes, results)
+}
+
+// ProcessFrames is ProcessBatch on the wire-native currency: each frame is
+// routed to its owning pipe by its cached lane hash and processed with zero
+// re-decode. results[i] corresponds to frames[i]. Frames are read, never
+// written, by the pipeline — TX rewrites belong to the caller after the
+// verdicts return.
+func (e *Engine) ProcessFrames(now simtime.Time, frames []netproto.Frame) []dataplane.Result {
+	results := make([]dataplane.Result, len(frames))
+	e.ProcessFramesInto(now, frames, results)
+	return results
+}
+
+// ProcessFramesInto is ProcessFrames writing into a caller-provided results
+// slice (len(results) >= len(frames)), the allocation-free form for the
+// socket RX loop that reuses frame and result buffers across batches.
+func (e *Engine) ProcessFramesInto(now simtime.Time, frames []netproto.Frame, results []dataplane.Result) {
+	if len(frames) == 0 {
+		return
+	}
+	if len(e.pipes) == 1 {
+		p := e.pipes[0]
+		p.mu.Lock()
+		for i := range frames {
+			results[i] = p.processFrame(now, &frames[i])
+		}
+		p.mu.Unlock()
+		return
+	}
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	// The frame memoizes its lane hash at first use (the producer computes
+	// it here, before publication), so re-batching the same frames — e.g. a
+	// retried TX — never re-hashes the tuple.
+	lanes := e.shard(len(frames), func(i int) uint64 {
+		return frames[i].LaneHash(e.laneSeed)
+	})
+	e.runShards(now, nil, frames, lanes, results)
+}
+
+// shard fills e.shards with per-pipe packet index lists from one lane hash
+// per packet and returns the reused lane buffer. Callers hold batchMu.
+func (e *Engine) shard(count int, laneOf func(i int) uint64) []uint64 {
+	if cap(e.lanes) < count {
+		e.lanes = make([]uint64, count)
+	}
+	lanes := e.lanes[:count]
+	n := uint64(len(e.pipes))
+	for pi := range e.shards {
+		e.shards[pi] = e.shards[pi][:0]
+	}
+	for i := 0; i < count; i++ {
+		lane := laneOf(i)
+		lanes[i] = lane
+		pi := hashing.HashUint64(e.seed, lane) % n
+		e.shards[pi] = append(e.shards[pi], int32(i))
+	}
+	return lanes
+}
+
+// runShards publishes one descriptor per non-empty shard, wakes the
+// workers, assists, and waits for batch completion. Exactly one of pkts and
+// frames is non-nil — the descriptor carries whichever currency the batch
+// uses. Callers hold batchMu.
+func (e *Engine) runShards(now simtime.Time, pkts []*netproto.Packet, frames []netproto.Frame, lanes []uint64, results []dataplane.Result) {
 	if !e.started && !e.closed {
 		e.started = true
 		for pi := range e.pipes {
 			e.workerWG.Add(1)
 			go e.worker(pi)
 		}
-	}
-	// Scatter: one lane hash per packet feeds both the pipe choice and —
-	// via ProcessLane — the pipe's key hash and digest, so the tuple is
-	// hashed exactly once on this path. Index lists preserve arrival order
-	// within a pipe.
-	if cap(e.lanes) < len(pkts) {
-		e.lanes = make([]uint64, len(pkts))
-	}
-	lanes := e.lanes[:len(pkts)]
-	n := uint64(len(e.pipes))
-	for pi := range e.shards {
-		e.shards[pi] = e.shards[pi][:0]
-	}
-	for i, pkt := range pkts {
-		lane := netproto.LaneHash(e.laneSeed, &pkt.Tuple)
-		lanes[i] = lane
-		pi := hashing.HashUint64(e.seed, lane) % n
-		e.shards[pi] = append(e.shards[pi], int32(i))
 	}
 	// Publish one descriptor per non-empty shard and wake its worker. A
 	// full ring or a closed engine just skips the hand-off: the assist
@@ -311,7 +389,7 @@ func (e *Engine) ProcessBatchInto(now simtime.Time, pkts []*netproto.Packet, res
 			continue
 		}
 		j := e.jobs[pi]
-		j.now, j.pkts, j.idxs, j.lanes, j.results = now, pkts, e.shards[pi], lanes, results
+		j.now, j.pkts, j.frames, j.idxs, j.lanes, j.results = now, pkts, frames, e.shards[pi], lanes, results
 		// Order matters: the completion count and the job fields must be in
 		// place before the state reset publishes the job — a worker can
 		// claim it through a stale ring entry the instant state reads
@@ -337,7 +415,7 @@ func (e *Engine) ProcessBatchInto(now simtime.Time, pkts []*netproto.Packet, res
 	// does not pin the last batch's packets between calls.
 	for pi := range e.pipes {
 		j := e.jobs[pi]
-		j.pkts, j.idxs, j.lanes, j.results = nil, nil, nil, nil
+		j.pkts, j.frames, j.idxs, j.lanes, j.results = nil, nil, nil, nil, nil
 	}
 }
 

@@ -39,9 +39,12 @@ const (
 // makes that harmless — each publication is executed exactly once, by
 // exactly one goroutine, whichever entry it was claimed through.
 type batchJob struct {
-	now     simtime.Time
+	now simtime.Time
+	// Exactly one of pkts and frames is non-nil: the descriptor carries a
+	// struct-currency batch or a wire-frame batch.
 	pkts    []*netproto.Packet
-	idxs    []int32  // indices into pkts owned by this pipe, arrival order
+	frames  []netproto.Frame
+	idxs    []int32  // indices into pkts/frames owned by this pipe, arrival order
 	lanes   []uint64 // chip-level lane hash per packet (indexed like pkts)
 	results []dataplane.Result
 	state   atomic.Uint32
@@ -136,11 +139,20 @@ func (e *Engine) runJob(pi int, j *batchJob) {
 	p := e.pipes[pi]
 	p.mu.Lock()
 	p.cp.Advance(j.now)
-	for _, i := range j.idxs {
-		pkt := j.pkts[i]
-		p.dp.ProcessLaneInto(j.now, pkt, j.lanes[i], &j.results[i])
-		p.processed++
-		p.cp.HandleResultInto(j.now, pkt, &j.results[i])
+	if j.frames != nil {
+		for _, i := range j.idxs {
+			f := &j.frames[i]
+			p.dp.ProcessFrameInto(j.now, f, j.lanes[i], &j.results[i])
+			p.processed++
+			p.cp.HandleTupleResultInto(j.now, f.Tuple, &j.results[i])
+		}
+	} else {
+		for _, i := range j.idxs {
+			pkt := j.pkts[i]
+			p.dp.ProcessLaneInto(j.now, pkt, j.lanes[i], &j.results[i])
+			p.processed++
+			p.cp.HandleResultInto(j.now, pkt, &j.results[i])
+		}
 	}
 	p.mu.Unlock()
 }

@@ -238,6 +238,7 @@ type VerdictEvent struct {
 	VIP     *VIPSeries // nil when the destination is not a registered VIP
 	Verdict Verdict
 	WireLen int  // bytes on the wire
+	Wire    bool // came in as raw wire bytes (frame path), not a synthetic struct
 	ConnHit bool // served from ConnTable
 	Learned bool // generated a learn event
 

@@ -1,0 +1,131 @@
+package workload
+
+// Wire-byte trace emission: the same synthetic connections the simulators
+// drive as structs, materialized as raw packets for the wire-native path.
+// Everything is preallocated into one backing arena at construction, so
+// benchmarks and equivalence tests can sweep the frames without allocating
+// or re-marshaling in their timed regions.
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/netproto"
+)
+
+// WireConfig parameterizes a WireTraffic set.
+type WireConfig struct {
+	// Conns is how many distinct connections to materialize. Required.
+	Conns int
+	// VIP is the destination of every packet. Required.
+	VIP netip.AddrPort
+	// Proto selects TCP (default) or UDP.
+	Proto netproto.Proto
+	// TCPFlags is the flag byte stamped on every TCP packet
+	// (e.g. netproto.FlagACK for established traffic; ignored for UDP).
+	TCPFlags uint8
+	// PayloadLen is the per-packet payload size (default 0: minimum-size
+	// packets, the line-rate worst case).
+	PayloadLen int
+	// IPv6 draws IPv6 source addresses instead of IPv4.
+	IPv6 bool
+}
+
+// WireTraffic is a deterministic, preallocated wire workload: Conns
+// connections to one VIP, each materialized both as a synthetic Packet and
+// as marshaled wire bytes parsed into a Frame. The two currencies describe
+// byte-for-byte the same traffic, which is what lets callers compare the
+// struct path and the frame path on identical input.
+type WireTraffic struct {
+	pkts   []netproto.Packet
+	frames []netproto.Frame
+	arena  []byte // every frame's Data aliases into here
+}
+
+// connTuple derives connection i's five-tuple: unique source address and
+// port, purely from the index (no RNG — wire traces must be reproducible
+// byte-for-byte across runs and hosts).
+func connTuple(cfg *WireConfig, i int) netproto.FiveTuple {
+	var src netip.Addr
+	if cfg.IPv6 {
+		var b [16]byte
+		b[0], b[1] = 0xfd, 0x00
+		b[12], b[13], b[14], b[15] = byte(i>>24), byte(i>>16), byte(i>>8), byte(i)
+		src = netip.AddrFrom16(b)
+	} else {
+		src = netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+	}
+	proto := cfg.Proto
+	if proto == 0 {
+		proto = netproto.ProtoTCP
+	}
+	return netproto.FiveTuple{
+		Src:     src,
+		Dst:     cfg.VIP.Addr(),
+		SrcPort: uint16(1024 + i%60000),
+		DstPort: cfg.VIP.Port(),
+		Proto:   proto,
+	}
+}
+
+// NewWireTraffic materializes the workload. All allocation happens here.
+func NewWireTraffic(cfg WireConfig) (*WireTraffic, error) {
+	if cfg.Conns <= 0 {
+		return nil, fmt.Errorf("workload: WireConfig.Conns must be positive, got %d", cfg.Conns)
+	}
+	if !cfg.VIP.IsValid() {
+		return nil, fmt.Errorf("workload: WireConfig.VIP is required")
+	}
+	if cfg.IPv6 != cfg.VIP.Addr().Is6() {
+		return nil, fmt.Errorf("workload: VIP family must match IPv6=%v", cfg.IPv6)
+	}
+	w := &WireTraffic{
+		pkts:   make([]netproto.Packet, cfg.Conns),
+		frames: make([]netproto.Frame, cfg.Conns),
+	}
+	payload := make([]byte, cfg.PayloadLen)
+	// First pass: build the structs and marshal each into the shared arena.
+	// Offsets are recorded so the second pass can parse frames after the
+	// arena has stopped growing (append may move it while it grows).
+	offs := make([]int, cfg.Conns+1)
+	var scratch []byte
+	for i := 0; i < cfg.Conns; i++ {
+		w.pkts[i] = netproto.Packet{
+			Tuple:   connTuple(&cfg, i),
+			Payload: payload,
+		}
+		if w.pkts[i].Tuple.Proto == netproto.ProtoTCP {
+			w.pkts[i].TCPFlags = cfg.TCPFlags
+		}
+		raw, err := w.pkts[i].Marshal(scratch)
+		if err != nil {
+			return nil, fmt.Errorf("workload: marshal conn %d: %w", i, err)
+		}
+		scratch = raw
+		w.arena = append(w.arena, raw...)
+		offs[i+1] = len(w.arena)
+	}
+	for i := 0; i < cfg.Conns; i++ {
+		if err := netproto.ParseFrame(w.arena[offs[i]:offs[i+1]:offs[i+1]], &w.frames[i]); err != nil {
+			return nil, fmt.Errorf("workload: reparse conn %d: %w", i, err)
+		}
+	}
+	return w, nil
+}
+
+// Len is the number of connections.
+func (w *WireTraffic) Len() int { return len(w.pkts) }
+
+// Packets returns the struct currency of the workload. The slice and its
+// elements are shared — treat as read-only.
+func (w *WireTraffic) Packets() []netproto.Packet { return w.pkts }
+
+// Frames returns the wire currency of the workload: one parsed frame per
+// connection, all aliasing one backing arena. Rewriting a frame in place
+// mutates the arena; callers that need pristine bytes per run should
+// rebuild the WireTraffic.
+func (w *WireTraffic) Frames() []netproto.Frame { return w.frames }
+
+// WireBytes reports the total bytes on the wire across the whole set (the
+// figure a byte-rate meter should charge for one full sweep).
+func (w *WireTraffic) WireBytes() int { return len(w.arena) }

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"repro/internal/netproto"
+)
+
+func testWireConfig() WireConfig {
+	return WireConfig{
+		Conns:      300,
+		VIP:        netip.MustParseAddrPort("20.0.0.1:80"),
+		TCPFlags:   netproto.FlagACK,
+		PayloadLen: 9, // odd length exercises checksum padding
+	}
+}
+
+// TestWireTrafficCurrenciesAgree locks the two currencies together: every
+// frame must parse to exactly the struct it was marshaled from, with
+// canonical framing (frame length == struct WireLen == arena slice).
+func TestWireTrafficCurrenciesAgree(t *testing.T) {
+	for _, v6 := range []bool{false, true} {
+		cfg := testWireConfig()
+		if v6 {
+			cfg.IPv6 = true
+			cfg.VIP = netip.MustParseAddrPort("[2001:db8::1]:80")
+		}
+		w, err := NewWireTraffic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != cfg.Conns {
+			t.Fatalf("Len = %d, want %d", w.Len(), cfg.Conns)
+		}
+		pkts, frames := w.Packets(), w.Frames()
+		seen := make(map[netproto.FiveTuple]bool, w.Len())
+		total := 0
+		for i := range frames {
+			if frames[i].Tuple != pkts[i].Tuple {
+				t.Fatalf("conn %d: frame tuple %v != packet tuple %v", i, frames[i].Tuple, pkts[i].Tuple)
+			}
+			if frames[i].TCPFlags != pkts[i].TCPFlags {
+				t.Fatalf("conn %d: flags diverge", i)
+			}
+			if !bytes.Equal(frames[i].Payload(), pkts[i].Payload) {
+				t.Fatalf("conn %d: payload diverges", i)
+			}
+			if got, want := frames[i].WireLen(), pkts[i].WireLen(); got != want {
+				t.Fatalf("conn %d: frame WireLen %d != packet WireLen %d", i, got, want)
+			}
+			if seen[frames[i].Tuple] {
+				t.Fatalf("conn %d: duplicate tuple %v", i, frames[i].Tuple)
+			}
+			seen[frames[i].Tuple] = true
+			total += frames[i].WireLen()
+		}
+		if total != w.WireBytes() {
+			t.Fatalf("sum of frame lengths %d != WireBytes %d", total, w.WireBytes())
+		}
+	}
+}
+
+// TestWireTrafficDeterministic: same config, byte-identical arena.
+func TestWireTrafficDeterministic(t *testing.T) {
+	a, err := NewWireTraffic(testWireConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWireTraffic(testWireConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.arena, b.arena) {
+		t.Fatal("two builds from the same config produced different wire bytes")
+	}
+}
+
+// TestWireTrafficRejectsBadConfig covers the constructor's validation.
+func TestWireTrafficRejectsBadConfig(t *testing.T) {
+	if _, err := NewWireTraffic(WireConfig{Conns: 0, VIP: netip.MustParseAddrPort("20.0.0.1:80")}); err == nil {
+		t.Error("Conns=0 accepted")
+	}
+	if _, err := NewWireTraffic(WireConfig{Conns: 1}); err == nil {
+		t.Error("missing VIP accepted")
+	}
+	if _, err := NewWireTraffic(WireConfig{Conns: 1, VIP: netip.MustParseAddrPort("20.0.0.1:80"), IPv6: true}); err == nil {
+		t.Error("family mismatch accepted")
+	}
+}
+
+// TestWireTrafficUDP exercises the UDP branch (no flags on the wire).
+func TestWireTrafficUDP(t *testing.T) {
+	cfg := testWireConfig()
+	cfg.Proto = netproto.ProtoUDP
+	w, err := NewWireTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range w.Frames() {
+		if f.Tuple.Proto != netproto.ProtoUDP {
+			t.Fatalf("conn %d: proto %v", i, f.Tuple.Proto)
+		}
+		if f.TCPFlags != 0 {
+			t.Fatalf("conn %d: UDP frame with TCP flags", i)
+		}
+	}
+}

@@ -69,6 +69,11 @@ type (
 	FiveTuple = netproto.FiveTuple
 	// Packet is a decoded L3/L4 packet.
 	Packet = netproto.Packet
+	// Frame is the parse-once view of a raw packet: the wire bytes plus the
+	// header offsets and five-tuple extracted in a single pass. It is the
+	// currency of the wire-native packet path (ProcessFrames, the tunnel);
+	// fill one with ParseFrame.
+	Frame = netproto.Frame
 	// Time is virtual time in nanoseconds.
 	Time = simtime.Time
 	// Duration is a span of virtual time in nanoseconds.
@@ -221,6 +226,11 @@ const (
 	Second      = simtime.Second
 	Minute      = simtime.Minute
 )
+
+// ParseFrame parses a raw IPv4/IPv6 packet into f in one pass. f.Data
+// aliases data; the frame is valid only while those bytes are. It accepts
+// exactly the packets netproto.Decode accepts.
+func ParseFrame(data []byte, f *Frame) error { return netproto.ParseFrame(data, f) }
 
 // NewVIP builds a VIP from a textual address. It panics on a malformed
 // address (intended for literals; parse inputs with netip directly).
@@ -731,6 +741,25 @@ func resultSchedulesWork(res Result) bool {
 	return res.Learned || !res.ConnHit
 }
 
+// ProcessFrame runs one parsed wire frame through the switch — the
+// bytes-native form of Process. The verdict's DIP plus the frame's cached
+// offsets are everything TX needs for an in-place rewrite or encap with
+// zero re-decode.
+func (s *Switch) ProcessFrame(now Time, f *Frame) Result {
+	var res Result
+	if s.multi != nil {
+		res = s.multi.ProcessFrame(now, f)
+	} else {
+		s.mu.Lock()
+		res = s.processFrame(now, f)
+		s.mu.Unlock()
+	}
+	if resultSchedulesWork(res) {
+		s.poke()
+	}
+	return res
+}
+
 // ProcessBatch runs a batch of decoded packets through the switch and
 // returns one Result per packet, in input order. On a multi-pipe switch
 // the batch is sharded by connection onto the engine's persistent per-pipe
@@ -763,6 +792,41 @@ func (s *Switch) ProcessBatch(now Time, pkts []*Packet) []Result {
 	return results
 }
 
+// ProcessFrames runs a batch of parsed wire frames through the switch and
+// returns one Result per frame, in input order — ProcessBatch on the
+// bytes-native currency. The pipeline reads the frames but never writes
+// them; TX rewrites (Frame.RewriteDst, EncapIPIP) belong to the caller
+// once the verdicts are back.
+func (s *Switch) ProcessFrames(now Time, frames []Frame) []Result {
+	results := make([]Result, len(frames))
+	s.ProcessFramesInto(now, frames, results)
+	return results
+}
+
+// ProcessFramesInto is ProcessFrames writing into a caller-provided
+// results slice (len(results) >= len(frames)) — the allocation-free form
+// the socket RX loop uses, reusing frame and result buffers across
+// batches. results[i] corresponds to frames[i].
+func (s *Switch) ProcessFramesInto(now Time, frames []Frame, results []Result) {
+	if s.multi != nil {
+		s.multi.ProcessFramesInto(now, frames, results)
+	} else {
+		s.mu.Lock()
+		for i := range frames {
+			results[i] = s.processFrame(now, &frames[i])
+		}
+		s.mu.Unlock()
+	}
+	// Same single-poke logic as ProcessBatch: all new deadlines are already
+	// scheduled by the time the engine returns, so one wake-up suffices.
+	for i := range frames {
+		if resultSchedulesWork(results[i]) {
+			s.poke()
+			break
+		}
+	}
+}
+
 // Close releases the switch's background machinery: on a multi-pipe
 // switch it stops the engine's per-pipe batch workers and waits for them
 // to exit (ProcessBatch keeps working afterwards — batches then run on
@@ -780,6 +844,13 @@ func (s *Switch) process(now Time, pkt *Packet) Result {
 	s.cp.Advance(now)
 	res := s.dp.Process(now, pkt)
 	return s.cp.HandleResult(now, pkt, res)
+}
+
+func (s *Switch) processFrame(now Time, f *Frame) Result {
+	s.cp.Advance(now)
+	res := s.dp.ProcessFrame(now, f)
+	s.cp.HandleTupleResultInto(now, f.Tuple, &res)
+	return res
 }
 
 // verdictError maps a non-forwarding verdict to its wrapped sentinel, so
@@ -803,15 +874,17 @@ func verdictError(res Result, t FiveTuple) error {
 // wrap the package sentinels (ErrUndecodable, ErrNotVIP, ErrMeterDrop,
 // ErrNoBackend); match them with errors.Is.
 func (s *Switch) Forward(now Time, raw []byte) (DIP, error) {
-	var pkt Packet
-	if err := netproto.Decode(raw, &pkt); err != nil {
+	var f Frame
+	if err := netproto.ParseFrame(raw, &f); err != nil {
 		return DIP{}, fmt.Errorf("silkroad: %w: %v", ErrUndecodable, err)
 	}
-	res := s.Process(now, &pkt)
+	res := s.ProcessFrame(now, &f)
 	if res.Verdict != dataplane.VerdictForward {
-		return DIP{}, verdictError(res, pkt.Tuple)
+		return DIP{}, verdictError(res, f.Tuple)
 	}
-	if err := netproto.RewriteDst(raw, res.DIP); err != nil {
+	// The frame's cached offsets make the rewrite a pure in-place edit —
+	// the one parse above is the only decode on this path.
+	if err := f.RewriteDst(res.DIP); err != nil {
 		return DIP{}, err
 	}
 	return res.DIP, nil
@@ -822,15 +895,15 @@ func (s *Switch) Forward(now Time, raw []byte) (DIP, error) {
 // server return: the inner packet keeps the VIP destination, the DIP
 // decapsulates). selfAddr is the outer source (this load balancer).
 func (s *Switch) ForwardIPIP(now Time, raw []byte, selfAddr netip.Addr) ([]byte, DIP, error) {
-	var pkt Packet
-	if err := netproto.Decode(raw, &pkt); err != nil {
+	var f Frame
+	if err := netproto.ParseFrame(raw, &f); err != nil {
 		return nil, DIP{}, fmt.Errorf("silkroad: %w: %v", ErrUndecodable, err)
 	}
-	res := s.Process(now, &pkt)
+	res := s.ProcessFrame(now, &f)
 	if res.Verdict != dataplane.VerdictForward {
-		return nil, DIP{}, verdictError(res, pkt.Tuple)
+		return nil, DIP{}, verdictError(res, f.Tuple)
 	}
-	enc, err := netproto.EncapIPIP(nil, selfAddr, res.DIP.Addr(), raw)
+	enc, err := netproto.EncapIPIP(nil, selfAddr, res.DIP.Addr(), f.Data)
 	if err != nil {
 		return nil, DIP{}, err
 	}
