@@ -22,6 +22,8 @@
 //	vips                 list VIPs with versions and pools per pipe
 //	pending              show the learning filter's pending set per pipe
 //	sram                 per-stage occupancy heatmap and SRAM breakdown
+//	snapshot <a> [b]     print a conn-table snapshot (Switch.Export JSON);
+//	                     with two files, diff them (exit 1 on divergent DIPs)
 //
 // Five-tuples use the trace-record rendering "src:port->dst:port/proto"
 // (also accepted with a "tcp:"/"udp:" prefix). Remember to quote or escape
@@ -56,6 +58,7 @@ commands:
   vips                 list VIPs with versions and pools
   pending              show the learning filter's pending set
   sram                 per-stage occupancy and SRAM breakdown
+  snapshot <a> [b]     print a conn-table snapshot file; with two, diff them
 
 flags:
   -watch <interval>    top-style live view of /slo + /debug/silkroad/
@@ -105,6 +108,8 @@ func main() {
 		err = c.pending()
 	case "sram":
 		err = c.sram()
+	case "snapshot":
+		err = snapshotCmd(os.Stdout, args)
 	default:
 		usage()
 	}

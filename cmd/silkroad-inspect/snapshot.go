@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/handoff"
+)
+
+// snapshotCmd implements the file-based `snapshot` subcommand: with one
+// argument it pretty-prints a conn-table snapshot (Switch.Export JSON);
+// with two it diffs them — per-VIP entry counts, the pinned-version
+// histogram, and the divergent digests that would break PCC if the two
+// tables ever served the same traffic.
+func snapshotCmd(w io.Writer, args []string) error {
+	switch len(args) {
+	case 1:
+		snap, err := loadSnapshot(args[0])
+		if err != nil {
+			return err
+		}
+		printSnapshot(w, args[0], snap)
+		return nil
+	case 2:
+		a, err := loadSnapshot(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := loadSnapshot(args[1])
+		if err != nil {
+			return err
+		}
+		printSnapshot(w, args[0], a)
+		printSnapshot(w, args[1], b)
+		return diffSnapshots(w, a, b)
+	default:
+		return fmt.Errorf("snapshot wants one file (print) or two (diff)")
+	}
+}
+
+func loadSnapshot(path string) (*handoff.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap handoff.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+func printSnapshot(w io.Writer, name string, s *handoff.Snapshot) {
+	fmt.Fprintf(w, "%s: %d entries, %d pipe(s), cursor %d, taken %s\n",
+		name, len(s.Entries), s.Pipes, s.Cursor, time.Duration(s.TakenAt))
+
+	// Per-VIP entry counts and the version histogram: how much of the
+	// table is pinned to versions other than the most popular one is the
+	// first thing to look at before a migration.
+	type verKey struct {
+		vip string
+		ver uint32
+	}
+	perVIP := map[string]int{}
+	perVer := map[verKey]int{}
+	for _, e := range s.Entries {
+		v := e.VIP.String()
+		perVIP[v]++
+		perVer[verKey{v, e.Version}]++
+	}
+	for _, vip := range sortedKeys(perVIP) {
+		fmt.Fprintf(w, "  %s: %d conns\n", vip, perVIP[vip])
+		var vers []verKey
+		for k := range perVer {
+			if k.vip == vip {
+				vers = append(vers, k)
+			}
+		}
+		sort.Slice(vers, func(i, j int) bool { return vers[i].ver < vers[j].ver })
+		for _, k := range vers {
+			fmt.Fprintf(w, "    v%-3d %d conns\n", k.ver, perVer[k])
+		}
+	}
+}
+
+// diffSnapshots compares two snapshots by tuple: entries present on one
+// side only, and — the PCC-relevant case — tuples present on both whose
+// resolved DIP diverges.
+func diffSnapshots(w io.Writer, a, b *handoff.Snapshot) error {
+	byTuple := func(s *handoff.Snapshot) map[string]handoff.Entry {
+		m := make(map[string]handoff.Entry, len(s.Entries))
+		for _, e := range s.Entries {
+			m[e.Tuple.String()] = e
+		}
+		return m
+	}
+	am, bm := byTuple(a), byTuple(b)
+
+	var onlyA, onlyB, divergent []string
+	for t, ae := range am {
+		be, ok := bm[t]
+		if !ok {
+			onlyA = append(onlyA, t)
+			continue
+		}
+		if ae.DIP != be.DIP {
+			divergent = append(divergent, fmt.Sprintf(
+				"%s  digest=%#08x  a: v%d->%s  b: v%d->%s",
+				t, ae.Digest, ae.Version, ae.DIP, be.Version, be.DIP))
+		}
+	}
+	for t := range bm {
+		if _, ok := am[t]; !ok {
+			onlyB = append(onlyB, t)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	sort.Strings(divergent)
+
+	fmt.Fprintf(w, "diff: %d only in a, %d only in b, %d divergent\n",
+		len(onlyA), len(onlyB), len(divergent))
+	for _, t := range onlyA {
+		fmt.Fprintf(w, "  -%s\n", t)
+	}
+	for _, t := range onlyB {
+		fmt.Fprintf(w, "  +%s\n", t)
+	}
+	for _, d := range divergent {
+		fmt.Fprintf(w, "  !%s\n", d)
+	}
+	if len(divergent) > 0 {
+		return fmt.Errorf("%d connection(s) map to different DIPs", len(divergent))
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

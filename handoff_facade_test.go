@@ -1,0 +1,116 @@
+package silkroad
+
+import (
+	"testing"
+
+	"repro/internal/netproto"
+)
+
+func TestExportImportRoundtrip(t *testing.T) {
+	donor := newSwitch(t)
+	recv := newSwitch(t)
+	first := map[int]DIP{}
+	for i := 0; i < 200; i++ {
+		first[i] = donor.Process(Time(i)*1000, clientPkt(i, netproto.FlagSYN)).DIP
+	}
+	donor.AdvanceTo(Time(50 * Millisecond))
+
+	snap := donor.Export(Time(50 * Millisecond))
+	if len(snap.Entries) != 200 {
+		t.Fatalf("snapshot has %d entries, want 200", len(snap.Entries))
+	}
+	if snap.Pipes != donor.Pipes() {
+		t.Fatalf("snapshot pipes = %d", snap.Pipes)
+	}
+	// Entries carry the resolved DIP for offline audit.
+	for _, e := range snap.Entries {
+		if !e.DIP.IsValid() || len(e.Pool) == 0 {
+			t.Fatalf("entry not self-contained: %+v", e)
+		}
+	}
+
+	imported, skipped, err := recv.Import(Time(60*Millisecond), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != 200 || skipped != 0 {
+		t.Fatalf("imported=%d skipped=%d", imported, skipped)
+	}
+	now := Time(200 * Millisecond)
+	for i := 0; i < 200; i++ {
+		res := recv.Process(now, clientPkt(i, netproto.FlagACK))
+		if !res.ConnHit {
+			t.Fatalf("conn %d not installed on receiver", i)
+		}
+		if res.DIP != first[i] {
+			t.Fatalf("conn %d: donor DIP %v, receiver DIP %v", i, first[i], res.DIP)
+		}
+	}
+	// Export again from the receiver: tables agree entry-for-entry.
+	snap2 := recv.Export(now)
+	if len(snap2.Entries) != len(snap.Entries) {
+		t.Fatalf("receiver exports %d entries, donor %d", len(snap2.Entries), len(snap.Entries))
+	}
+}
+
+func TestClusterMigrateConvergesWithLiveDonor(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Switches: 2, Switch: Defaults(100000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	spec := &ClusterSpec{Version: SpecVersion, VIPs: []VIPSpec{{
+		VIP: "20.0.0.1:80/tcp", Pool: []string{"10.0.0.1:20", "10.0.0.2:20", "10.0.0.3:20"},
+	}}}
+	if _, err := c.Apply(0, spec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !c.Converged(); i++ {
+		if i > 100 {
+			t.Fatal("fleet never converged")
+		}
+		c.Reconcile(Time(i) * Time(Millisecond))
+		c.AdvanceTo(Time(i) * Time(Millisecond))
+	}
+
+	donor := c.Switch(0)
+	first := map[int]DIP{}
+	for i := 0; i < 300; i++ {
+		first[i] = donor.Process(Time(200*Millisecond)+Time(i)*1000, clientPkt(i, netproto.FlagSYN)).DIP
+	}
+	donor.AdvanceTo(Time(250 * Millisecond))
+
+	st, err := c.Migrate(Time(250*Millisecond), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Imported < 300 {
+		t.Fatalf("migrated %d entries, want >= 300 (%+v)", st.Imported, st)
+	}
+	// The standby serves every connection with the donor's mapping.
+	now := Time(400 * Millisecond)
+	for i := 0; i < 300; i++ {
+		res := c.Switch(1).Process(now, clientPkt(i, netproto.FlagACK))
+		if !res.ConnHit || res.DIP != first[i] {
+			t.Fatalf("conn %d on standby: hit=%v dip=%v want %v", i, res.ConnHit, res.DIP, first[i])
+		}
+	}
+	// The donor kept its table (Migrate pre-warms, it does not drain).
+	if got := len(donor.Export(now).Entries); got != 300 {
+		t.Fatalf("donor exports %d entries after migrate, want 300", got)
+	}
+}
+
+func TestMigrateBadIndexes(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Switches: 2, Switch: Defaults(10000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Migrate(0, 0, 0); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+	if _, err := c.Migrate(0, 0, 5); err == nil {
+		t.Fatal("bad receiver accepted")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/ctrlplane"
 	"repro/internal/dataplane"
+	"repro/internal/handoff"
 	"repro/internal/hashing"
 	"repro/internal/netproto"
 	"repro/internal/simtime"
@@ -61,10 +62,20 @@ type Cluster struct {
 	members []*member
 	// spray is the upstream resilient-ECMP table: bucket -> switch index.
 	spray  []int
-	origin []int // original owner of each bucket (for restore)
+	origin []int // original owner of each bucket (for rejoin)
+
+	// in-flight connection-state transfers (handoff.go)
+	drain  *drainState
+	rejoin *rejoinState
+	// SLB backstop hooks (SetBackstop)
+	backstop    func(now simtime.Time, t netproto.FiveTuple, dip dataplane.DIP) bool
+	backstopEnd func(now simtime.Time, t netproto.FiveTuple)
 
 	// stats
-	Redirected uint64 // connections moved by switch failures
+	Redirected   uint64        // connections moved cold by switch failures
+	Migrated     uint64        // spray buckets moved warm by drains/rejoins
+	BackstopPins uint64        // entries pinned to the SLB backstop
+	LastHandoff  handoff.Stats // counters of the last completed transfer
 }
 
 // New builds the deployment. All switches share hash seeds (the paper's
@@ -114,6 +125,9 @@ func (c *Cluster) AliveCount() int {
 	}
 	return n
 }
+
+// Alive reports whether switch i is in service.
+func (c *Cluster) Alive(i int) bool { return c.members[i].alive }
 
 // AddVIP announces a VIP on every switch.
 func (c *Cluster) AddVIP(now simtime.Time, vip dataplane.VIP, pool []dataplane.DIP) error {
@@ -208,7 +222,11 @@ func (c *Cluster) FailSwitch(i int) error {
 }
 
 // RestoreSwitch brings switch i back with a FRESH, empty ConnTable (state
-// does not survive reboots) and restores its original spray buckets.
+// does not survive reboots). It does NOT return the member's spray
+// buckets: a rebooted switch with a cold table must not take traffic —
+// connections pinned to retired pool versions would break on it. The
+// survivors keep serving until RejoinSwitch has re-announced state,
+// passed the warm gate, and migrated the member's shard back.
 func (c *Cluster) RestoreSwitch(i int) error {
 	if i < 0 || i >= len(c.members) {
 		return errors.New("cluster: no such switch")
@@ -224,11 +242,6 @@ func (c *Cluster) RestoreSwitch(i int) error {
 	m.sw = sw
 	m.cp = ctrlplane.New(sw, c.cfg.Controlplane)
 	m.alive = true
-	for b := range c.spray {
-		if c.origin[b] == i {
-			c.spray[b] = i
-		}
-	}
 	return nil
 }
 

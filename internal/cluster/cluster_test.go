@@ -199,24 +199,43 @@ func TestRestoreSwitch(t *testing.T) {
 	if c.AliveCount() != 3 {
 		t.Fatal("restore failed")
 	}
-	// The restored switch needs its VIPs re-announced before serving.
+	// A restored switch has a COLD table: it must not take traffic until
+	// it has rejoined. Its old buckets stay with the survivors.
+	for i := 5000; i < 5400; i++ {
+		_, sw, ok := c.Packet(ms(1), &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagSYN})
+		if sw == 0 {
+			t.Fatal("cold restored switch received traffic before rejoin")
+		}
+		if !ok {
+			t.Fatal("survivor dropped a packet")
+		}
+	}
+	// The warm gate holds until the VIPs are re-announced.
+	if err := c.RejoinSwitch(ms(2), 0); err != ErrNotWarm {
+		t.Fatalf("rejoin before re-announce: %v, want ErrNotWarm", err)
+	}
 	latest, _ := c.Member(1).CurrentPool(vip())
-	if err := c.ReannounceTo(ms(1), 0, map[dataplane.VIP][]dataplane.DIP{vip(): latest}); err != nil {
+	if err := c.ReannounceTo(ms(2), 0, map[dataplane.VIP][]dataplane.DIP{vip(): latest}); err != nil {
 		t.Fatal(err)
 	}
-	// New connections sprayed to switch 0 are served.
+	c.Advance(ms(3))
+	if err := c.RejoinSwitch(ms(3), 0); err != nil {
+		t.Fatal(err)
+	}
+	end := pumpRejoin(t, c, ms(4))
+	// Buckets are back and the warm member serves.
 	served := false
 	for i := 5000; i < 5400; i++ {
-		_, sw, ok := c.Packet(ms(2), &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagSYN})
+		_, sw, ok := c.Packet(end, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagACK})
 		if sw == 0 {
 			if !ok {
-				t.Fatal("restored switch dropped a packet")
+				t.Fatal("rejoined switch dropped a packet")
 			}
 			served = true
 		}
 	}
 	if !served {
-		t.Fatal("no traffic reached the restored switch")
+		t.Fatal("no traffic reached the rejoined switch")
 	}
 }
 

@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+// pumpDrain drives the active drain to cutover, advancing the cluster's
+// virtual clock between steps.
+func pumpDrain(t *testing.T, c *Cluster, from simtime.Time) simtime.Time {
+	t.Helper()
+	now := from
+	for i := 0; ; i++ {
+		if i > 20000 {
+			t.Fatal("drain did not converge")
+		}
+		_, done, err := c.DrainStep(now, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return now
+		}
+		now = now.Add(simtime.Duration(simtime.Millisecond))
+		c.Advance(now)
+	}
+}
+
+// pumpRejoin drives the active rejoin to cutover.
+func pumpRejoin(t *testing.T, c *Cluster, from simtime.Time) simtime.Time {
+	t.Helper()
+	now := from
+	for i := 0; ; i++ {
+		if i > 20000 {
+			t.Fatal("rejoin did not converge")
+		}
+		_, done, err := c.RejoinStep(now, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return now
+		}
+		now = now.Add(simtime.Duration(simtime.Millisecond))
+		c.Advance(now)
+	}
+}
+
+// establish sends SYNs for tuples [lo,hi) and returns each flow's first
+// DIP and switch.
+func establish(t *testing.T, c *Cluster, lo, hi int, at simtime.Time) (map[int]dataplane.DIP, map[int]int) {
+	t.Helper()
+	dips := map[int]dataplane.DIP{}
+	sws := map[int]int{}
+	now := at
+	for i := lo; i < hi; i++ {
+		d, sw, ok := c.Packet(now, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagSYN})
+		if !ok {
+			t.Fatalf("flow %d dropped at establishment", i)
+		}
+		dips[i] = d
+		sws[i] = sw
+		now = now.Add(simtime.Duration(10 * simtime.Microsecond))
+	}
+	return dips, sws
+}
+
+// midUpdateFlows builds a cluster where flows [0,400) are established on
+// pool(8), an update to pool(7) is requested, and flows [400,480) are
+// learned INSIDE the update's recording window — pinned to the retiring
+// version. Returns the cluster, each flow's established DIP and switch,
+// and the post-update time.
+func midUpdateFlows(t *testing.T) (*Cluster, map[int]dataplane.DIP, map[int]int, simtime.Time) {
+	t.Helper()
+	c := newCluster(t, 3)
+	dips, sws := establish(t, c, 0, 400, 0)
+	c.Advance(ms(50))
+	// Queue fresh learns so the update's recording window stays open,
+	// then land more flows inside it: they pin to the OLD version.
+	late, lateSw := establish(t, c, 400, 440, ms(100))
+	if err := c.Update(ms(100), vip(), pool(7)); err != nil {
+		t.Fatal(err)
+	}
+	mid, midSw := establish(t, c, 440, 480, ms(100).Add(simtime.Duration(100*simtime.Microsecond)))
+	for i, d := range late {
+		dips[i], sws[i] = d, lateSw[i]
+	}
+	for i, d := range mid {
+		dips[i], sws[i] = d, midSw[i]
+	}
+	c.Advance(ms(400))
+	return c, dips, sws, ms(400)
+}
+
+// TestMidUpdateFlowBreaksOnFailButSurvivesDrain pins the robustness gap
+// this package closes: a flow learned mid-update is pinned to a retiring
+// pool version that exists only in its own switch's ConnTable. Cold
+// failover (FailSwitch) loses that state and the flow rehashes onto the
+// new pool; a warm drain migrates the pinned mapping and the flow
+// survives byte-for-byte.
+func TestMidUpdateFlowBreaksOnFailButSurvivesDrain(t *testing.T) {
+	const donor = 1
+
+	// Cold path: FailSwitch drops the donor's table. At least one
+	// old-version flow must change DIP — the documented §7 breakage.
+	cold, dips, sws, now := midUpdateFlows(t)
+	if err := cold.FailSwitch(donor); err != nil {
+		t.Fatal(err)
+	}
+	broken := 0
+	for i, first := range dips {
+		if sws[i] != donor {
+			continue
+		}
+		d, _, ok := cold.Packet(now, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagACK})
+		if !ok || d != first {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Fatal("cold failover broke no flows — the regression this test pins is gone")
+	}
+
+	// Warm path: identical cluster, identical flows, but the donor drains
+	// before going down. Every flow keeps its DIP — including those
+	// pinned to the retired version mid-update.
+	warm, dips, sws, now := midUpdateFlows(t)
+	if err := warm.DrainSwitch(now, donor); err != nil {
+		t.Fatal(err)
+	}
+	end := pumpDrain(t, warm, now)
+	if err := warm.UpgradeSwitch(donor); err != nil {
+		t.Fatal(err)
+	}
+	onDonor := 0
+	for i, first := range dips {
+		if sws[i] != donor {
+			continue
+		}
+		onDonor++
+		d, sw, ok := warm.Packet(end, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagACK})
+		if !ok {
+			t.Fatalf("flow %d dropped after warm drain", i)
+		}
+		if sw == donor {
+			t.Fatalf("flow %d still routed to the drained switch", i)
+		}
+		if d != first {
+			t.Fatalf("flow %d changed DIP across warm drain: %v -> %v", i, first, d)
+		}
+	}
+	if onDonor == 0 {
+		t.Fatal("no flows were on the drained switch")
+	}
+	if warm.Migrated == 0 || warm.LastHandoff.Imported == 0 {
+		t.Fatalf("no migration recorded: Migrated=%d stats=%+v", warm.Migrated, warm.LastHandoff)
+	}
+}
+
+// TestDrainDonorNeverPauses: the donor keeps learning new flows while
+// its shard is exported — the delta stream carries them over.
+func TestDrainDonorNeverPauses(t *testing.T) {
+	c := newCluster(t, 3)
+	dips, sws := establish(t, c, 0, 600, 0)
+	c.Advance(ms(50))
+	const donor = 0
+	if err := c.DrainSwitch(ms(50), donor); err != nil {
+		t.Fatal(err)
+	}
+	// Pump one bounded step, then land new flows on the donor mid-drain.
+	if _, done, err := c.DrainStep(ms(51), 64); err != nil || done {
+		t.Fatalf("drain finished in one bounded step (done=%v err=%v)", done, err)
+	}
+	late, lateSw := establish(t, c, 600, 700, ms(52))
+	donorSawLate := false
+	for i, sw := range lateSw {
+		dips[i], sws[i] = late[i], sw
+		if sw == donor {
+			donorSawLate = true
+		}
+	}
+	if !donorSawLate {
+		t.Fatal("no mid-drain flow landed on the donor — packet path paused?")
+	}
+	end := pumpDrain(t, c, ms(53))
+	if c.LastHandoff.Deltas == 0 {
+		t.Fatal("mid-drain flows did not ride the delta stream")
+	}
+	for i, first := range dips {
+		d, sw, ok := c.Packet(end, &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagACK})
+		if !ok {
+			t.Fatalf("flow %d dropped", i)
+		}
+		if sw == donor {
+			t.Fatalf("flow %d routed to drained switch", i)
+		}
+		if d != first {
+			t.Fatalf("flow %d changed DIP (established on switch %d)", i, sws[i])
+		}
+	}
+}
+
+// TestDrainCancelRollsBack: an abandoned drain leaves the spray, the
+// donor, and the receivers exactly as they were.
+func TestDrainCancelRollsBack(t *testing.T) {
+	c := newCluster(t, 3)
+	dips, _ := establish(t, c, 0, 600, 0)
+	c.Advance(ms(50))
+	before := make([]int, len(c.spray))
+	copy(before, c.spray)
+	donorConns := c.Member(1).TrackedConns()
+	peerConns := c.Member(0).TrackedConns() + c.Member(2).TrackedConns()
+
+	if err := c.DrainSwitch(ms(50), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, done, err := c.DrainStep(ms(51), 64); err != nil || done {
+		t.Fatalf("drain finished early (done=%v err=%v)", done, err)
+	}
+	c.Advance(ms(60))
+	if err := c.CancelDrain(ms(60)); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(ms(70))
+	for b := range c.spray {
+		if c.spray[b] != before[b] {
+			t.Fatal("cancel left the spray modified")
+		}
+	}
+	if got := c.Member(1).TrackedConns(); got != donorConns {
+		t.Fatalf("donor tracks %d conns after cancel, want %d", got, donorConns)
+	}
+	if got := c.Member(0).TrackedConns() + c.Member(2).TrackedConns(); got != peerConns {
+		t.Fatalf("receivers track %d imported conns after unwind, want %d", got, peerConns)
+	}
+	// Traffic is undisturbed.
+	for i, first := range dips {
+		d, _, ok := c.Packet(ms(70), &netproto.Packet{Tuple: tup(i), TCPFlags: netproto.FlagACK})
+		if !ok || d != first {
+			t.Fatalf("flow %d disturbed by cancelled drain", i)
+		}
+	}
+	// A second drain starts clean and completes.
+	if err := c.DrainSwitch(ms(71), 1); err != nil {
+		t.Fatal(err)
+	}
+	pumpDrain(t, c, ms(71))
+}
+
+// TestUpgradeSwitchRequiresDrain: the upgrade path refuses to take down
+// a switch that still owns traffic.
+func TestUpgradeSwitchRequiresDrain(t *testing.T) {
+	c := newCluster(t, 3)
+	if err := c.UpgradeSwitch(0); !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("undrained upgrade: %v, want ErrNotDrained", err)
+	}
+	if err := c.DrainSwitch(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DrainSwitch(0, 1); !errors.Is(err, ErrTransferActive) {
+		t.Fatalf("overlapping drain: %v, want ErrTransferActive", err)
+	}
+	pumpDrain(t, c, 0)
+	if err := c.UpgradeSwitch(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.AliveCount() != 2 {
+		t.Fatal("upgrade did not take the switch down")
+	}
+	if err := c.UpgradeSwitch(0); err == nil {
+		t.Fatal("double upgrade accepted")
+	}
+}
+
+// TestDrainBackstopPins: when a receiver cannot host an entry (VIP
+// withdrawn there), the drain pins the flow to the SLB backstop with its
+// donor-resolved DIP instead of dropping it.
+func TestDrainBackstopPins(t *testing.T) {
+	c := newCluster(t, 2)
+	_, sws := establish(t, c, 0, 400, 0)
+	c.Advance(ms(50))
+	onDonor := 0
+	for _, sw := range sws {
+		if sw == 0 {
+			onDonor++
+		}
+	}
+	// The only peer withdraws the VIP: imports fail terminally.
+	if err := c.Member(1).RemoveVIP(ms(50), vip()); err != nil {
+		t.Fatal(err)
+	}
+	pinned := map[netproto.FiveTuple]dataplane.DIP{}
+	c.SetBackstop(
+		func(now simtime.Time, tu netproto.FiveTuple, dip dataplane.DIP) bool {
+			pinned[tu] = dip
+			return true
+		},
+		func(now simtime.Time, tu netproto.FiveTuple) { delete(pinned, tu) },
+	)
+	if err := c.DrainSwitch(ms(51), 0); err != nil {
+		t.Fatal(err)
+	}
+	pumpDrain(t, c, ms(51))
+	if int(c.BackstopPins) != onDonor || len(pinned) != onDonor {
+		t.Fatalf("backstop pinned %d/%d flows (counter %d)", len(pinned), onDonor, c.BackstopPins)
+	}
+}
+
+// TestShadowDIP: the cluster-wide PCC probe follows the spray and
+// resolves the pinned backend, before and after a migration.
+func TestShadowDIP(t *testing.T) {
+	c := newCluster(t, 3)
+	dips, sws := establish(t, c, 0, 300, 0)
+	c.Advance(ms(50))
+	for i, first := range dips {
+		m, d, ok := c.ShadowDIP(vip(), tup(i))
+		if !ok || m != sws[i] || d != first {
+			t.Fatalf("flow %d shadow mismatch: member=%d dip=%v ok=%v", i, m, d, ok)
+		}
+	}
+	if err := c.DrainSwitch(ms(50), 2); err != nil {
+		t.Fatal(err)
+	}
+	pumpDrain(t, c, ms(50))
+	for i, first := range dips {
+		m, d, ok := c.ShadowDIP(vip(), tup(i))
+		if !ok {
+			t.Fatalf("flow %d lost its shadow after drain", i)
+		}
+		if m == 2 {
+			t.Fatalf("flow %d shadow still on drained member", i)
+		}
+		if d != first {
+			t.Fatalf("flow %d shadow DIP moved: %v -> %v", i, first, d)
+		}
+	}
+}

@@ -192,23 +192,31 @@ func (cp *ControlPlane) install(pi pendingInsert) {
 	err := cp.sw.InsertConnAt(pi.completeAt, ev.Tuple, ev.Version)
 	switch {
 	case err == nil:
-		cp.conns[ev.KeyHash] = &connShadow{
+		sh := &connShadow{
 			tuple:     ev.Tuple,
 			vip:       vip,
 			version:   ev.Version,
 			installed: true,
 			lastSeen:  pi.completeAt,
 		}
+		cp.conns[ev.KeyHash] = sh
 		vc.connsPerVer[ev.Version]++
 		cp.metrics.Inserted++
 		cp.metrics.InsertDelaySum += pi.completeAt.Sub(ev.At)
 		cp.scheduleAging(ev.KeyHash, pi.completeAt)
+		cp.noteConnInsert(sh)
 		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertOK, ev.At, ev.Tuple, ev.Version)
 	case err == cuckoo.ErrDuplicate:
 		cp.metrics.DuplicateLearns++
 		cp.traceInsert(pi.completeAt, vip, telemetry.InsertLearned, telemetry.InsertDuplicate, ev.At, ev.Tuple, ev.Version)
 	case err == cuckoo.ErrTableFull:
 		if pi.retries < cp.cfg.MaxInsertRetries {
+			if pi.imported && cp.tracer != nil {
+				cp.tracer.OnHandoff(telemetry.HandoffEvent{
+					Now: pi.completeAt, Donor: -1, Receiver: cp.pipe,
+					Step: telemetry.HandoffRetry, Entries: 1,
+				})
+			}
 			pi.ev = ev // keep the possibly-repinned version
 			cp.requeueWithBackoff(pi)
 			return
@@ -392,12 +400,14 @@ func (cp *ControlPlane) installInline(now simtime.Time, tuple netproto.FiveTuple
 	}
 	switch insErr := cp.sw.InsertConnAt(now, tuple, ver); insErr {
 	case nil:
-		cp.conns[res.KeyHash] = &connShadow{
+		sh := &connShadow{
 			tuple: tuple, vip: vc.vip, version: ver, installed: true, lastSeen: now,
 		}
+		cp.conns[res.KeyHash] = sh
 		vc.connsPerVer[ver]++
 		cp.metrics.Inserted++
 		cp.scheduleAging(res.KeyHash, now)
+		cp.noteConnInsert(sh)
 		cp.traceInsert(now, vc.vip, kind, telemetry.InsertOK, now, tuple, ver)
 	case cuckoo.ErrTableFull:
 		cp.metrics.Overflows++
@@ -479,6 +489,7 @@ func (cp *ControlPlane) releaseShadow(now simtime.Time, kh uint64, sh *connShado
 	}
 	if sh.installed {
 		cp.sw.DeleteConnAt(now, sh.tuple)
+		cp.noteConnDelete(sh)
 		if vc, ok := cp.vips[sh.vip]; ok {
 			vc.connsPerVer[sh.version]--
 			cp.retireIfIdle(vc, sh.version)

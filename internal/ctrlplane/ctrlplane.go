@@ -168,7 +168,8 @@ type connShadow struct {
 type pendingInsert struct {
 	ev         learnfilter.Event
 	completeAt simtime.Time
-	retries    int // full-table attempts already made (backoff doubles per retry)
+	retries    int  // full-table attempts already made (backoff doubles per retry)
+	imported   bool // handoff import, not a learned event (telemetry labeling)
 }
 
 type updState uint8
@@ -235,6 +236,12 @@ type ControlPlane struct {
 	// both planes report into one telemetry sink, labelled with one pipe.
 	tracer telemetry.Tracer
 	pipe   int
+
+	// exports are the open conn-table export sessions fed by the install
+	// and release paths; handoffSeq is the fallback consistency cursor
+	// when no flight recorder is attached.
+	exports    []*ExportSession
+	handoffSeq uint64
 
 	metrics Metrics
 }
@@ -387,6 +394,7 @@ func (cp *ControlPlane) RemoveVIP(now simtime.Time, vip dataplane.VIP) error {
 		if sh.vip == vip {
 			if sh.installed {
 				cp.sw.DeleteConn(sh.tuple)
+				cp.noteConnDelete(sh)
 			}
 			delete(cp.conns, kh)
 		}

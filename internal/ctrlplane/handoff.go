@@ -1,0 +1,347 @@
+package ctrlplane
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/dataplane"
+	"repro/internal/handoff"
+	"repro/internal/learnfilter"
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+// ErrVersionSpace is returned by MapVersion when every version number is
+// pinned by live connections and none can be retired — the import
+// equivalent of §4.2's "very rare" version exhaustion.
+var ErrVersionSpace = errors.New("ctrlplane: no free version for imported pool")
+
+// ErrUnknownImportVersion rejects an ImportEntry whose version was never
+// mapped on this control plane.
+var ErrUnknownImportVersion = errors.New("ctrlplane: import version not mapped")
+
+// ExportSession is a live conn-table export: a snapshot of every installed
+// connection frozen at BeginExport (sorted by key hash, so chunking is
+// deterministic) plus a delta feed of the inserts and deletes that land
+// while the snapshot drains. The donor's packet path never pauses — the
+// snapshot reads the CPU shadow, and deltas are appended by the normal
+// install/release paths at no extra table cost.
+//
+// It implements handoff.Exporter.
+type ExportSession struct {
+	cp      *ControlPlane
+	entries []handoff.Entry
+	pos     int
+	deltas  []handoff.Entry
+	cursor  uint64
+	closed  bool
+}
+
+// BeginExport freezes a snapshot of the installed connection table and
+// attaches a delta feed. Close the session when done — an open session
+// accumulates deltas without bound.
+func (cp *ControlPlane) BeginExport(now simtime.Time) *ExportSession {
+	s := &ExportSession{cp: cp, cursor: cp.journalCursor()}
+	pools := make(map[dataplane.VIP]map[uint32][]dataplane.DIP)
+	keys := make([]uint64, 0, len(cp.conns))
+	for kh, sh := range cp.conns {
+		if sh.installed {
+			keys = append(keys, kh)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	s.entries = make([]handoff.Entry, 0, len(keys))
+	for _, kh := range keys {
+		sh := cp.conns[kh]
+		e := cp.exportEntry(sh, handoff.OpUpsert)
+		// Share one pool clone per (vip, version): snapshots are large and
+		// most entries pin the same few versions.
+		byVer := pools[sh.vip]
+		if byVer == nil {
+			byVer = make(map[uint32][]dataplane.DIP)
+			pools[sh.vip] = byVer
+		}
+		if p, ok := byVer[sh.version]; ok {
+			e.Pool = p
+		} else {
+			byVer[sh.version] = e.Pool
+		}
+		s.entries = append(s.entries, e)
+	}
+	cp.exports = append(cp.exports, s)
+	return s
+}
+
+// exportEntry renders one shadow as a transferable entry. Delete entries
+// skip the pool and DIP (the receiver removes by tuple).
+func (cp *ControlPlane) exportEntry(sh *connShadow, op handoff.Op) handoff.Entry {
+	e := handoff.Entry{
+		Op:      op,
+		Tuple:   sh.tuple,
+		KeyHash: cp.sw.KeyHash(sh.tuple),
+		Digest:  cp.sw.ConnDigest(sh.tuple),
+		VIP:     sh.vip,
+		Version: sh.version,
+	}
+	if op == handoff.OpUpsert {
+		if vc, ok := cp.vips[sh.vip]; ok {
+			e.Pool = clone(vc.pools[sh.version])
+		}
+		if dip, err := cp.sw.SelectDIP(sh.vip, sh.version, sh.tuple); err == nil {
+			e.DIP = dip
+		}
+	}
+	return e
+}
+
+// journalCursor returns the flight-recorder journal sequence when the
+// attached tracer is a Recorder (its gap-free record counter), falling
+// back to the control plane's own mutation counter otherwise. Either way
+// the cursor is monotone over conn-table mutations, which is all the
+// handoff protocol needs to order snapshots against delta streams.
+func (cp *ControlPlane) journalCursor() uint64 {
+	if js, ok := cp.tracer.(interface{ JournalSeq() uint64 }); ok {
+		return js.JournalSeq()
+	}
+	return cp.handoffSeq
+}
+
+// Pending implements handoff.Exporter.
+func (s *ExportSession) Pending() int { return len(s.entries) - s.pos }
+
+// NextChunk implements handoff.Exporter: the next max snapshot entries.
+func (s *ExportSession) NextChunk(max int) []handoff.Entry {
+	if max <= 0 || s.pos+max > len(s.entries) {
+		max = len(s.entries) - s.pos
+	}
+	chunk := s.entries[s.pos : s.pos+max]
+	s.pos += max
+	return chunk
+}
+
+// Deltas implements handoff.Exporter: drains the accumulated delta feed.
+func (s *ExportSession) Deltas() []handoff.Entry {
+	d := s.deltas
+	s.deltas = nil
+	return d
+}
+
+// Cursor implements handoff.Exporter: the journal sequence at capture.
+func (s *ExportSession) Cursor() uint64 { return s.cursor }
+
+// Close implements handoff.Exporter: detaches the delta feed.
+func (s *ExportSession) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i, o := range s.cp.exports {
+		if o == s {
+			s.cp.exports = append(s.cp.exports[:i], s.cp.exports[i+1:]...)
+			break
+		}
+	}
+}
+
+// noteConnInsert feeds an installed connection into every open export
+// session and bumps the fallback cursor. Called from the install paths
+// after the shadow is recorded.
+func (cp *ControlPlane) noteConnInsert(sh *connShadow) {
+	cp.handoffSeq++
+	if len(cp.exports) == 0 {
+		return
+	}
+	e := cp.exportEntry(sh, handoff.OpUpsert)
+	for _, s := range cp.exports {
+		s.deltas = append(s.deltas, e)
+	}
+}
+
+// noteConnDelete feeds a released connection into every open export
+// session and bumps the fallback cursor.
+func (cp *ControlPlane) noteConnDelete(sh *connShadow) {
+	cp.handoffSeq++
+	if len(cp.exports) == 0 {
+		return
+	}
+	e := cp.exportEntry(sh, handoff.OpDelete)
+	for _, s := range cp.exports {
+		s.deltas = append(s.deltas, e)
+	}
+}
+
+// MapVersion resolves a donor's pool to a local version number: an
+// existing version with the same pool content (version numbers are
+// switch-local, pool contents are portable — with shared hash seeds the
+// same pool selects the same DIP on any switch), else a freshly written
+// version row holding the donor's pool so imported connections keep
+// their old mapping. The current version is preferred so latest-version
+// imports collapse onto the receiver's live version.
+func (cp *ControlPlane) MapVersion(now simtime.Time, vip dataplane.VIP, donorPool []dataplane.DIP) (uint32, error) {
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return 0, dataplane.ErrUnknownVIP
+	}
+	if samePool(vc.pools[vc.curVer], donorPool) {
+		return vc.curVer, nil
+	}
+	for _, v := range vc.sortedVersions() {
+		if samePool(vc.pools[v], donorPool) {
+			return v, nil
+		}
+	}
+	var newVer uint32
+	switch {
+	case len(vc.freeVers) > 0:
+		newVer = vc.freeVers[0]
+		vc.freeVers = vc.freeVers[1:]
+	default:
+		found := false
+		for _, v := range vc.sortedVersions() {
+			if v != vc.curVer && vc.connsPerVer[v] == 0 && !(vc.state != updIdle && v == vc.prevVer) {
+				cp.dropVersion(vc, v)
+				newVer, found = v, true
+				break
+			}
+		}
+		if !found {
+			cp.metrics.VersionExhaustions++
+			return 0, ErrVersionSpace
+		}
+	}
+	vc.pools[newVer] = clone(donorPool)
+	if len(vc.pools) > vc.maxActive {
+		vc.maxActive = len(vc.pools)
+	}
+	if err := cp.sw.WritePool(vip, newVer, donorPool); err != nil {
+		panic("ctrlplane: WritePool (import): " + err.Error())
+	}
+	cp.metrics.VersionAllocs++
+	vc.versionsAllocated++
+	return newVer, nil
+}
+
+// ImportEntry accepts one transferred connection, pinning tuple to the
+// (already mapped) local version ver through the bounded CPU insertion
+// queue — imported state pays the same insert rate as learned state and
+// must not starve the receiver's own learning, so a full queue returns
+// handoff.ErrBackpressure and the transfer pauses until the CPU drains.
+// A connection the receiver already tracks is a no-op (nil).
+func (cp *ControlPlane) ImportEntry(now simtime.Time, tuple netproto.FiveTuple, ver uint32) error {
+	kh := cp.sw.KeyHash(tuple)
+	if sh, ok := cp.conns[kh]; ok && sh.installed {
+		return nil
+	}
+	vip := dataplane.VIPOf(tuple)
+	vc, ok := cp.vips[vip]
+	if !ok {
+		return dataplane.ErrUnknownVIP
+	}
+	if _, ok := vc.pools[ver]; !ok {
+		return ErrUnknownImportVersion
+	}
+	if bound := cp.cfg.MaxInsertQueue; bound > 0 && len(cp.queue) >= bound {
+		return handoff.ErrBackpressure
+	}
+	start := cp.cpuFreeAt
+	if now.After(start) {
+		start = now
+	}
+	per := cp.perInsert()
+	cp.enqueue(pendingInsert{
+		ev: learnfilter.Event{
+			Tuple:   tuple,
+			KeyHash: kh,
+			Digest:  cp.sw.ConnDigest(tuple),
+			Version: ver,
+			At:      now,
+		},
+		completeAt: start.Add(per),
+		imported:   true,
+	})
+	cp.cpuFreeAt = start.Add(per)
+	if len(cp.queue) > cp.metrics.MaxInsertQueue {
+		cp.metrics.MaxInsertQueue = len(cp.queue)
+	}
+	return nil
+}
+
+type importVerKey struct {
+	vip dataplane.VIP
+	ver uint32
+}
+
+// Importer adapts a receiving control plane as a handoff.Importer: donor
+// versions are remapped by pool content once per (vip, donor-version)
+// pair and imported entries are recorded so a cancelled transfer can be
+// unwound (and a completed rejoin can release the donor's copies).
+type Importer struct {
+	cp   *ControlPlane
+	vers map[importVerKey]uint32
+	took []netproto.FiveTuple
+}
+
+// NewImporter builds an Importer over cp.
+func NewImporter(cp *ControlPlane) *Importer {
+	return &Importer{cp: cp, vers: make(map[importVerKey]uint32)}
+}
+
+// Target returns the receiving control plane.
+func (im *Importer) Target() *ControlPlane { return im.cp }
+
+// Import implements handoff.Importer.
+func (im *Importer) Import(now simtime.Time, e handoff.Entry) error {
+	key := importVerKey{e.VIP, e.Version}
+	ver, ok := im.vers[key]
+	if !ok {
+		var err error
+		if ver, err = im.cp.MapVersion(now, e.VIP, e.Pool); err != nil {
+			return err
+		}
+		im.vers[key] = ver
+	}
+	if err := im.cp.ImportEntry(now, e.Tuple, ver); err != nil {
+		return err
+	}
+	im.took = append(im.took, e.Tuple)
+	return nil
+}
+
+// Delete implements handoff.Importer: replays a delta delete.
+func (im *Importer) Delete(now simtime.Time, e handoff.Entry) {
+	im.cp.EndImported(now, e.Tuple)
+}
+
+// Imported returns every tuple accepted so far (shared slice).
+func (im *Importer) Imported() []netproto.FiveTuple { return im.took }
+
+// Unwind releases every imported connection — the cancel path, so an
+// abandoned transfer leaves the receiver exactly as it was.
+func (im *Importer) Unwind(now simtime.Time) {
+	for _, t := range im.took {
+		im.cp.EndImported(now, t)
+	}
+	im.took = nil
+}
+
+// EndImported releases one connection by tuple — the delta-delete replay
+// and the donor-side release after a rejoin migration. Unlike
+// EndConnection it does not count toward ConnsEnded when the connection
+// was never tracked.
+func (cp *ControlPlane) EndImported(now simtime.Time, tuple netproto.FiveTuple) {
+	kh := cp.sw.KeyHash(tuple)
+	sh, ok := cp.conns[kh]
+	if !ok {
+		// The entry may still sit in the import queue: cancel it there so a
+		// delta delete racing the snapshot import cannot resurrect it.
+		for i := range cp.queue {
+			if cp.queue[i].ev.KeyHash == kh && cp.queue[i].imported {
+				cp.queue = append(cp.queue[:i], cp.queue[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	cp.releaseShadow(now, kh, sh)
+	cp.metrics.ConnsEnded++
+}

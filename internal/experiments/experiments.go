@@ -88,6 +88,7 @@ func All() []Runner {
 		{"runtime", "Event-runtime overhead, scheduler vs hand-driven (BENCH_runtime.json)", func(s float64, seed int64) (*Report, error) { return RuntimeBench(s, seed) }},
 		{"chaos", "Chaos soak: fault injection under churn, degradation invariants (CHAOS_soak.json)", func(s float64, seed int64) (*Report, error) { return Chaos(s, seed) }},
 		{"reconcile", "Reconcile soak: spec churn, rolling fleet updates, rollback (RECONCILE_soak.json)", func(s float64, seed int64) (*Report, error) { return Reconcile(s, seed) }},
+		{"upgrade", "Rolling-upgrade soak: warm handoff, zero dropped flows (UPGRADE_soak.json)", func(s float64, seed int64) (*Report, error) { return Upgrade(s, seed) }},
 		{"slo", "SLO soak: burn-rate alerting, occupancy forecasting, fleet rollout gate (SLO_soak.json)", func(s float64, seed int64) (*Report, error) { return SLO(s, seed) }},
 	}
 }

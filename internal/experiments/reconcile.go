@@ -153,11 +153,10 @@ func recSpecFor(g int) *intent.ClusterSpec {
 // recFlow is one connection's PCC bookkeeping: the member and shadow
 // version pinned after establishment. A flow observed on a different
 // member at any later revisit was redirected by the ECMP spray reacting
-// to the switch failure (or its reversal on restore); §7 accepts those
-// breaking PCC, so they are counted separately and excluded from the
-// violation check — even if the spray later returns them to the original
-// member, where the fresh post-reboot table re-learns them at a newer
-// version.
+// to the switch failure; §7 accepts those breaking PCC, so they are
+// counted separately and excluded from the violation check. The restored
+// member comes back cold and takes no traffic (rejoining it warm is the
+// upgrade soak's business), so a redirect is permanent here.
 type recFlow struct {
 	member     int
 	version    uint32

@@ -52,6 +52,10 @@ const (
 	// KindReconcile: the desired-state reconciler (internal/intent) took a
 	// step: a round, an apply/noop, a retry, a rollback or a drift hit.
 	KindReconcile = "reconcile"
+	// KindHandoff: a connection-state transfer began, converged or was
+	// cancelled (internal/handoff). Chunk/delta/retry steps are counted by
+	// the metrics registry, not journaled.
+	KindHandoff = "handoff"
 )
 
 // PacketRecord is one INT-style trace record: the pipeline decisions one
@@ -134,6 +138,13 @@ type JournalRecord struct {
 	Generation uint64 `json:"generation,omitempty"`
 	Retries    int    `json:"retries,omitempty"`
 	Error      string `json:"error,omitempty"`
+
+	// Handoff steps (KindHandoff): Step is begin/done/cancel, Pipe the
+	// donor member, Receiver the receiving member, Len the entry count,
+	// Batch the delta count, Cursor the donor's journal sequence at
+	// snapshot capture, Duration begin-to-finish.
+	Receiver int    `json:"receiver,omitempty"`
+	Cursor   uint64 `json:"cursor,omitempty"`
 }
 
 // slot is one ring cell. seq is the claimed sequence number plus one, so
@@ -556,6 +567,30 @@ func (r *Recorder) OnReconcile(e telemetry.ReconcileEvent) {
 	}
 	if r.inner != nil {
 		r.inner.OnReconcile(e)
+	}
+}
+
+// OnHandoff journals transfer begin/done/cancel records (the consistency
+// cursor's anchor points) and forwards. Chunk, delta and retry steps are
+// high-frequency and left to the metrics registry, like Round events.
+func (r *Recorder) OnHandoff(e telemetry.HandoffEvent) {
+	switch e.Step {
+	case telemetry.HandoffBegin, telemetry.HandoffDone, telemetry.HandoffCancel:
+		r.journal.put(JournalRecord{
+			Now:      e.Now,
+			Pipe:     e.Donor,
+			Kind:     KindHandoff,
+			Step:     e.Step.String(),
+			Receiver: e.Receiver,
+			Len:      e.Entries,
+			Batch:    e.Deltas,
+			Cursor:   e.Cursor,
+			Duration: e.Duration,
+			OK:       e.Step != telemetry.HandoffCancel,
+		}, stampJournal)
+	}
+	if r.inner != nil {
+		r.inner.OnHandoff(e)
 	}
 }
 

@@ -1,0 +1,169 @@
+package handoff
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"repro/internal/netproto"
+	"repro/internal/simtime"
+)
+
+// fakeExporter serves a fixed snapshot plus scripted delta rounds.
+type fakeExporter struct {
+	snap   []Entry
+	pos    int
+	deltas [][]Entry // successive Deltas() results
+	closed bool
+}
+
+func (f *fakeExporter) Pending() int { return len(f.snap) - f.pos }
+
+func (f *fakeExporter) NextChunk(max int) []Entry {
+	if max <= 0 || f.pos+max > len(f.snap) {
+		max = len(f.snap) - f.pos
+	}
+	out := f.snap[f.pos : f.pos+max]
+	f.pos += max
+	return out
+}
+
+func (f *fakeExporter) Deltas() []Entry {
+	if len(f.deltas) == 0 {
+		return nil
+	}
+	d := f.deltas[0]
+	f.deltas = f.deltas[1:]
+	return d
+}
+
+func (f *fakeExporter) Cursor() uint64 { return 7 }
+func (f *fakeExporter) Close()         { f.closed = true }
+
+// fakeImporter records applied ops and backpressures on request.
+type fakeImporter struct {
+	got     []Entry
+	dels    []Entry
+	pressed int // Import calls to reject with ErrBackpressure first
+}
+
+func (f *fakeImporter) Import(now simtime.Time, e Entry) error {
+	if f.pressed > 0 {
+		f.pressed--
+		return ErrBackpressure
+	}
+	f.got = append(f.got, e)
+	return nil
+}
+
+func (f *fakeImporter) Delete(now simtime.Time, e Entry) { f.dels = append(f.dels, e) }
+
+func entryN(i int) Entry {
+	return Entry{
+		Tuple: netproto.FiveTuple{
+			Src:     netip.AddrFrom4([4]byte{1, 2, byte(i >> 8), byte(i)}),
+			Dst:     netip.MustParseAddr("20.0.0.1"),
+			SrcPort: uint16(1000 + i), DstPort: 80, Proto: netproto.ProtoTCP,
+		},
+		KeyHash: uint64(i), Version: 3,
+		DIP: netip.MustParseAddrPort(fmt.Sprintf("10.0.0.%d:20", i%250+1)),
+	}
+}
+
+func snapN(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = entryN(i)
+	}
+	return out
+}
+
+func TestTransferOrderAndConvergence(t *testing.T) {
+	ex := &fakeExporter{
+		snap: snapN(10),
+		deltas: [][]Entry{
+			nil,
+			{entryN(100), {Op: OpDelete, Tuple: entryN(3).Tuple, KeyHash: 3}},
+		},
+	}
+	im := &fakeImporter{}
+	tr := NewTransfer(ex, im, Config{ChunkSize: 4})
+
+	moved, done := tr.Step(1, 6)
+	if done || moved != 6 {
+		t.Fatalf("step1: moved=%d done=%v", moved, done)
+	}
+	for i := 0; i < 10 && !done; i++ {
+		_, done = tr.Step(simtime.Time(i+2), 6)
+	}
+	if !done {
+		t.Fatal("transfer never converged")
+	}
+	// Snapshot entries arrive in order, then the delta upsert.
+	if len(im.got) != 11 {
+		t.Fatalf("imported %d entries, want 11", len(im.got))
+	}
+	for i := 0; i < 10; i++ {
+		if im.got[i].KeyHash != uint64(i) {
+			t.Fatalf("entry %d out of order: %d", i, im.got[i].KeyHash)
+		}
+	}
+	if im.got[10].KeyHash != 100 {
+		t.Fatal("delta upsert not applied last")
+	}
+	if len(im.dels) != 1 || im.dels[0].KeyHash != 3 {
+		t.Fatalf("delta delete not replayed: %+v", im.dels)
+	}
+	st := tr.Stats()
+	if st.Chunks != 3 || st.Exported != 12 || st.Imported != 11 || st.Deltas != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	tr.Finish(20)
+	if !ex.closed {
+		t.Fatal("Finish did not close the exporter")
+	}
+	if !tr.Done() {
+		t.Fatal("transfer not marked done")
+	}
+}
+
+func TestTransferBackpressureResumes(t *testing.T) {
+	ex := &fakeExporter{snap: snapN(5)}
+	im := &fakeImporter{pressed: 2}
+	tr := NewTransfer(ex, im, Config{ChunkSize: 8})
+
+	moved, done := tr.Step(1, 0)
+	if done || moved != 0 {
+		t.Fatalf("pressed step: moved=%d done=%v", moved, done)
+	}
+	moved, done = tr.Step(2, 0) // one more rejection, then flow
+	if done || moved != 0 {
+		t.Fatalf("pressed step 2: moved=%d done=%v", moved, done)
+	}
+	moved, done = tr.Step(3, 0)
+	if !done || moved != 5 {
+		t.Fatalf("resume step: moved=%d done=%v", moved, done)
+	}
+	if tr.Stats().Backoffs != 2 {
+		t.Fatalf("backoffs = %d", tr.Stats().Backoffs)
+	}
+	// No entry was lost or reordered across the pauses.
+	for i, e := range im.got {
+		if e.KeyHash != uint64(i) {
+			t.Fatalf("entry %d out of order after backpressure", i)
+		}
+	}
+}
+
+func TestTransferCancel(t *testing.T) {
+	ex := &fakeExporter{snap: snapN(4)}
+	tr := NewTransfer(ex, &fakeImporter{}, Config{})
+	tr.Step(1, 2)
+	tr.Cancel(2)
+	if !ex.closed {
+		t.Fatal("Cancel did not close the exporter")
+	}
+	if moved, done := tr.Step(3, 0); moved != 0 || !done {
+		t.Fatal("cancelled transfer still pumping")
+	}
+}

@@ -46,6 +46,13 @@ func goldenSnapshot() Snapshot {
 	r.OnReconcile(ReconcileEvent{Now: 8e9, Step: ReconcileRetry, Generation: 2,
 		Retries: 1, Err: "table full"})
 	r.OnReconcile(ReconcileEvent{Now: 9e9, Step: ReconcileDrift, Generation: 2})
+	r.OnHandoff(HandoffEvent{Now: 9e9, Donor: 0, Receiver: 1, Step: HandoffBegin,
+		Entries: 5, Cursor: 42})
+	r.OnHandoff(HandoffEvent{Donor: 0, Receiver: 1, Step: HandoffChunk, Entries: 4})
+	r.OnHandoff(HandoffEvent{Donor: 0, Receiver: 1, Step: HandoffDelta, Deltas: 2})
+	r.OnHandoff(HandoffEvent{Now: 9e9, Donor: -1, Receiver: 1, Step: HandoffRetry, Entries: 1})
+	r.OnHandoff(HandoffEvent{Now: 9e9, Donor: 0, Receiver: 1, Step: HandoffDone,
+		Entries: 6, Deltas: 2, Cursor: 42, Duration: 3e6})
 	return r.Snapshot(9e9)
 }
 

@@ -104,6 +104,23 @@ const (
 	// MetricReconcileApplyLatency is desired-set to applied latency in
 	// virtual seconds, per successfully applied key.
 	MetricReconcileApplyLatency = "silkroad_reconcile_apply_latency_seconds"
+
+	// MetricHandoffExported counts ConnTable entries pulled from donors
+	// during connection-state transfers (snapshot chunks + delta records).
+	MetricHandoffExported = "silkroad_handoff_entries_exported_total"
+	// MetricHandoffImported counts entries accepted by receivers.
+	MetricHandoffImported = "silkroad_handoff_entries_imported_total"
+	// MetricHandoffDeltas counts delta records replayed (inserts/deletes
+	// that landed on the donor while a snapshot was in flight).
+	MetricHandoffDeltas = "silkroad_handoff_delta_replays_total"
+	// MetricHandoffChunks counts bounded snapshot chunks transferred.
+	MetricHandoffChunks = "silkroad_handoff_chunks_total"
+	// MetricHandoffRetries counts imported entries re-queued with backoff
+	// after the receiver's ConnTable insert hit ErrTableFull.
+	MetricHandoffRetries = "silkroad_handoff_import_retries_total"
+	// MetricHandoffDuration is begin-to-converged transfer duration in
+	// virtual seconds.
+	MetricHandoffDuration = "silkroad_handoff_duration_seconds"
 )
 
 // Default histogram bounds. Virtual-time histograms span 10 µs to 1 s,
@@ -189,6 +206,10 @@ type Registry struct {
 	reconcileRollbacks, reconcileErrors *Counter
 	reconcileDrift                      *Counter
 	reconcileApplyLatency               *Histogram
+	handoffExported, handoffImported    *Counter
+	handoffDeltas, handoffChunks        *Counter
+	handoffRetries                      *Counter
+	handoffDuration                     *Histogram
 }
 
 // NewRegistry creates a registry with every built-in instrument
@@ -238,6 +259,12 @@ func NewRegistry() *Registry {
 	r.reconcileErrors = r.Counter(MetricReconcileErrors)
 	r.reconcileDrift = r.Counter(MetricReconcileDrift)
 	r.reconcileApplyLatency = r.Histogram(MetricReconcileApplyLatency, durationBounds)
+	r.handoffExported = r.Counter(MetricHandoffExported)
+	r.handoffImported = r.Counter(MetricHandoffImported)
+	r.handoffDeltas = r.Counter(MetricHandoffDeltas)
+	r.handoffChunks = r.Counter(MetricHandoffChunks)
+	r.handoffRetries = r.Counter(MetricHandoffRetries)
+	r.handoffDuration = r.Histogram(MetricHandoffDuration, durationBounds)
 	return r
 }
 
@@ -469,6 +496,24 @@ func (r *Registry) OnReconcile(e ReconcileEvent) {
 		r.reconcileErrors.Inc()
 	case ReconcileDrift:
 		r.reconcileDrift.Inc()
+	}
+}
+
+// OnHandoff implements Tracer: folds connection-state transfer steps into
+// the handoff counters and the duration histogram.
+func (r *Registry) OnHandoff(e HandoffEvent) {
+	switch e.Step {
+	case HandoffChunk:
+		r.handoffChunks.Inc()
+		r.handoffExported.Add(uint64(e.Entries))
+	case HandoffDelta:
+		r.handoffDeltas.Add(uint64(e.Deltas))
+		r.handoffExported.Add(uint64(e.Deltas))
+	case HandoffRetry:
+		r.handoffRetries.Inc()
+	case HandoffDone:
+		r.handoffImported.Add(uint64(e.Entries))
+		r.handoffDuration.Observe(e.Duration.Seconds())
 	}
 }
 

@@ -452,6 +452,56 @@ type ReconcileEvent struct {
 	Err string
 }
 
+// HandoffStep identifies one event from the connection-state handoff
+// machinery (internal/handoff).
+type HandoffStep uint8
+
+const (
+	// HandoffBegin marks a transfer starting: Entries carries the snapshot
+	// size, Cursor the donor's journal sequence at capture.
+	HandoffBegin HandoffStep = iota
+	// HandoffChunk marks one bounded snapshot chunk pulled from the donor.
+	HandoffChunk
+	// HandoffDelta marks a delta round replayed (inserts/deletes that
+	// landed on the donor while the snapshot was in flight).
+	HandoffDelta
+	// HandoffRetry marks an imported entry re-queued with backoff after
+	// the receiver's ConnTable insert hit ErrTableFull.
+	HandoffRetry
+	// HandoffDone marks a converged transfer; Duration is begin-to-done.
+	HandoffDone
+	// HandoffCancel marks an abandoned transfer (stall rollback).
+	HandoffCancel
+)
+
+var handoffStepNames = [...]string{"begin", "chunk", "delta", "retry", "done", "cancel"}
+
+func (s HandoffStep) String() string {
+	if int(s) < len(handoffStepNames) {
+		return handoffStepNames[s]
+	}
+	return "unknown"
+}
+
+// HandoffEvent reports one connection-state handoff step.
+type HandoffEvent struct {
+	Now simtime.Time
+	// Donor and Receiver are fleet member indices (-1 when not applicable,
+	// e.g. an import retry that only knows the receiving switch).
+	Donor    int
+	Receiver int
+	Step     HandoffStep
+	// Entries is the step's entry count: snapshot size at Begin, chunk
+	// size at Chunk, total imported at Done/Cancel.
+	Entries int
+	// Deltas is the delta-record count (Delta/Done/Cancel steps).
+	Deltas int
+	// Cursor is the donor's journal sequence (Begin/Done steps).
+	Cursor uint64
+	// Duration is begin-to-finish for Done/Cancel steps.
+	Duration simtime.Duration
+}
+
 // Tracer receives events from the traced components. Implementations must
 // be safe for concurrent use from multiple pipes. The Registry in this
 // package is the default implementation; custom tracers can embed
@@ -479,6 +529,8 @@ type Tracer interface {
 	OnFault(e FaultEvent)
 	// OnReconcile reports desired-state reconciler steps (internal/intent).
 	OnReconcile(e ReconcileEvent)
+	// OnHandoff reports connection-state transfer steps (internal/handoff).
+	OnHandoff(e HandoffEvent)
 }
 
 // NopTracer is a Tracer that ignores everything; embed it to implement
@@ -514,3 +566,6 @@ func (NopTracer) OnFault(FaultEvent) {}
 
 // OnReconcile implements Tracer.
 func (NopTracer) OnReconcile(ReconcileEvent) {}
+
+// OnHandoff implements Tracer.
+func (NopTracer) OnHandoff(HandoffEvent) {}
